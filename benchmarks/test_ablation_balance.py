@@ -1,0 +1,121 @@
+"""Ablation — load balancing and the moving window (Sec. 3.3 / 5.1.2).
+
+The paper "experimented with various load balancing techniques ... which
+did, however, not decrease the total runtime significantly, because the
+moving window technique makes it possible to simulate only the interface
+region, such that, in production runs, most blocks have a composition
+similar to the 'interface' benchmark."
+
+This ablation reproduces both halves of that argument with the block
+weights taken from a real solidification state:
+
+* *without* the moving window (tall domain, front inside), block costs
+  vary strongly along z and LPT-weighted assignment beats contiguous
+  assignment clearly;
+* *with* the window (domain cropped to the front region), block costs are
+  near-uniform and the balancing gain collapses — balancing "does not
+  decrease the runtime significantly".
+"""
+
+import numpy as np
+
+from repro.core.regions import classify
+from repro.core.solver import Simulation
+from repro.grid.balance import assign_blocks, weighted_assign
+from repro.grid.blockforest import BlockForest
+from repro.perf.scaling import SCENARIO_COST
+from repro.thermo.system import TernaryEutecticSystem
+from conftest import write_report
+
+
+def _block_weights(phi, system, forest) -> np.ndarray:
+    """Per-block cost estimate from the region composition (shortcut
+    kernels make interface cells the expensive ones)."""
+    weights = []
+    for b in forest.blocks:
+        sl = (slice(None),) + tuple(
+            slice(o, o + s) for o, s in zip(b.offset, b.shape)
+        )
+        masks = classify(phi[sl], system.liquid_index)
+        counts = masks.counts()
+        bulk = b.n_cells - counts["interface"]
+        w = (
+            counts["interface"] * SCENARIO_COST["interface"]
+            + bulk * 0.5 * (SCENARIO_COST["liquid"] + SCENARIO_COST["solid"]) * 0.3
+        )
+        weights.append(w)
+    return np.asarray(weights)
+
+
+def _imbalance(weights, owner, n_ranks) -> float:
+    loads = np.zeros(n_ranks)
+    for b, r in enumerate(owner):
+        loads[r] += weights[b]
+    return float(loads.max() / max(loads.mean(), 1e-12))
+
+
+def test_balance_ablation(benchmark, results_dir):
+    data = {}
+
+    def measure():
+        system = TernaryEutecticSystem()
+        sim = Simulation(shape=(16, 16, 48), system=system, kernel="shortcut")
+        sim.initialize_voronoi(seed=8, solid_height=16, n_seeds=8)
+        sim.step(60)
+        phi = sim.phi.interior_src
+
+        n_ranks = 4
+        # tall domain (no moving window): blocks stacked along z
+        forest_tall = BlockForest((16, 16, 48), (1, 1, 8))
+        w_tall = _block_weights(phi, system, forest_tall)
+        data["tall_contig"] = _imbalance(
+            w_tall, assign_blocks(forest_tall, n_ranks), n_ranks
+        )
+        data["tall_lpt"] = _imbalance(
+            w_tall, weighted_assign(w_tall, n_ranks), n_ranks
+        )
+
+        # moving-window domain: crop to the interface band
+        front = int(sim.front_position())
+        z0 = max(front - 8, 0)
+        phi_win = phi[..., z0 : z0 + 16]
+        forest_win = BlockForest((16, 16, 16), (2, 2, 2))
+        w_win = _block_weights(phi_win, system, forest_win)
+        data["win_contig"] = _imbalance(
+            w_win, assign_blocks(forest_win, n_ranks), n_ranks
+        )
+        data["win_lpt"] = _imbalance(
+            w_win, weighted_assign(w_win, n_ranks), n_ranks
+        )
+        data["w_tall"] = w_tall
+        data["w_win"] = w_win
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    gain_tall = data["tall_contig"] / data["tall_lpt"]
+    gain_win = data["win_contig"] / data["win_lpt"]
+    lines = [
+        "Ablation: load balancing x moving window",
+        "",
+        "imbalance = max rank load / mean rank load (1.0 is perfect)",
+        "",
+        f"{'configuration':<28}{'contiguous':>12}{'LPT':>12}{'gain':>8}",
+        f"{'tall domain (no window)':<28}{data['tall_contig']:>12.2f}"
+        f"{data['tall_lpt']:>12.2f}{gain_tall:>8.2f}",
+        f"{'moving-window domain':<28}{data['win_contig']:>12.2f}"
+        f"{data['win_lpt']:>12.2f}{gain_win:>8.2f}",
+        "",
+        f"block weight spread (max/min): tall "
+        f"{data['w_tall'].max() / data['w_tall'].min():.1f}, window "
+        f"{data['w_win'].max() / data['w_win'].min():.1f}",
+        "",
+        "expected: balancing matters for the tall domain; the moving window",
+        "homogenizes block composition so the gain collapses (the paper's",
+        "observation that load balancing 'did not decrease the total",
+        "runtime significantly').",
+    ]
+    write_report(results_dir, "ablation_balance.txt", lines)
+
+    assert gain_tall > 1.3          # balancing helps without the window
+    assert gain_win < gain_tall     # ... and much less with it
+    assert data["win_contig"] < data["tall_contig"]  # window homogenizes

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""The Sec. 3.2 output pipeline on the simulated MPI runtime.
+
+Demonstrates the full hierarchical mesh reduction: per-rank marching-cubes
+extraction (ghost-extended so the local meshes stitch seamlessly), local
+QEM pre-coarsening with protected block boundaries, and the log2(P)
+gather-stitch-coarsen rounds funnelling everything to rank 0, which writes
+the final OBJ.  Runs on a synthetic blob field first (verifiable topology)
+and then on a solidified microstructure.
+
+Usage:  python examples/mesh_pipeline.py
+"""
+
+import numpy as np
+
+from repro import Simulation, TernaryEutecticSystem
+from repro.io.marching_cubes import extract_isosurface
+from repro.io.reduction import ReductionLimits, hierarchical_mesh_reduction
+from repro.simmpi import run_spmd
+
+
+def blob_field(n: int = 28) -> np.ndarray:
+    x, y, z = np.meshgrid(*[np.arange(n, dtype=float)] * 3, indexing="ij")
+    r1 = np.sqrt((x - n * 0.35) ** 2 + (y - n / 2) ** 2 + (z - n / 2) ** 2)
+    r2 = np.sqrt((x - n * 0.65) ** 2 + (y - n / 2) ** 2 + (z - n / 2) ** 2)
+    return 1.0 / (1.0 + np.exp(r1 - 6.0)) + 1.0 / (1.0 + np.exp(r2 - 6.0))
+
+
+def reduce_volume(volume: np.ndarray, n_ranks: int, label: str) -> None:
+    n = volume.shape[0]
+    bounds = np.linspace(0, n - 1, n_ranks + 1).astype(int)
+
+    def rank_main(comm):
+        lo, hi = bounds[comm.rank], bounds[comm.rank + 1]
+        sub = volume[lo : hi + 1]  # one-layer ghost overlap
+        local = extract_isosurface(sub, 0.5, origin=(lo, 0, 0))
+        reduced = hierarchical_mesh_reduction(
+            comm, local,
+            ReductionLimits(local_ratio=0.6, merge_ratio=0.7),
+        )
+        return local.n_faces, reduced
+
+    results = run_spmd(n_ranks, rank_main)
+    total_local = sum(r[0] for r in results)
+    final = results[0][1]
+    print(f"{label}: {n_ranks} ranks, {total_local} local faces "
+          f"-> {final.n_faces} after hierarchical reduction "
+          f"(watertight={final.is_watertight()})")
+    return final
+
+
+def main() -> None:
+    print("== synthetic two-blob field ==")
+    vol = blob_field()
+    whole = extract_isosurface(vol, 0.5)
+    print(f"single-pass reference: {whole.n_faces} faces, "
+          f"area {whole.area():.1f}, watertight={whole.is_watertight()}")
+    for ranks in (2, 4, 8):
+        final = reduce_volume(vol, ranks, f"  reduction")
+        assert final.is_watertight()
+    final.write_obj("blobs.obj")
+    print("wrote blobs.obj")
+
+    print("\n== solidified microstructure ==")
+    system = TernaryEutecticSystem()
+    sim = Simulation(shape=(24, 24, 32), system=system, kernel="shortcut")
+    sim.initialize_voronoi(seed=9, solid_height=14, n_seeds=10)
+    sim.step(200)
+    s0 = system.phase_set.solid_indices[0]
+    phase_vol = sim.phi.interior_src[s0]
+    final = reduce_volume(phase_vol, 4, f"phase {system.phase_set.phases[s0].name}")
+    final.write_obj("phase_interface.obj")
+    print("wrote phase_interface.obj")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Distributed run on the simulated MPI runtime (Algorithms 1 and 2).
+
+Partitions the domain into blocks, runs one simulated MPI rank per block,
+and verifies the headline correctness properties of the paper's
+parallelization:
+
+* the result is independent of the block decomposition (bitwise for
+  Algorithm 1),
+* the communication-hiding schedule of Algorithm 2 (mu exchange hidden
+  behind the phi sweep, phi exchange behind the split local mu sweep)
+  "can be interchanged without altering the results",
+* the phi ghost exchange moves twice the bytes of the mu exchange
+  (4 order parameters vs 2 chemical potentials).
+
+Usage:  python examples/parallel_blocks.py
+"""
+
+import numpy as np
+
+from repro import Simulation, TernaryEutecticSystem
+from repro.core.nucleation import smooth_phase_field, voronoi_initial_condition
+from repro.distributed import DistributedSimulation
+
+STEPS = 10
+SHAPE = (16, 16, 24)
+
+
+def main() -> None:
+    system = TernaryEutecticSystem()
+    phi0, mu0 = voronoi_initial_condition(
+        system, SHAPE, solid_height=8, n_seeds=8
+    )
+    phi0 = smooth_phase_field(phi0, 2)
+
+    print(f"reference: single block, {STEPS} steps on {SHAPE}")
+    ref = Simulation(shape=SHAPE, system=system, kernel="buffered")
+    ref.initialize(phi0, mu0)
+    ref.step(STEPS)
+
+    print(f"\n{'blocks':>10} {'ranks':>6} {'schedule':>10} "
+          f"{'max |dphi|':>12} {'comm KiB/rank':>14}")
+    for bpa in [(2, 1, 1), (2, 2, 1), (2, 2, 2), (1, 1, 4)]:
+        for overlap, label in [(False, "Alg. 1"), (True, "Alg. 2")]:
+            dist = DistributedSimulation(
+                SHAPE, bpa, system=system, params=ref.params,
+                temperature=ref.temperature, kernel="buffered",
+                overlap=overlap,
+            )
+            res = dist.run(STEPS, phi0, mu0)
+            err = np.abs(res.phi - ref.phi.interior_src).max()
+            kib = np.mean([s.comm_bytes for s in res.stats]) / 1024.0
+            print(f"{str(bpa):>10} {dist.n_ranks:>6} {label:>10} "
+                  f"{err:>12.2e} {kib:>14.1f}")
+            assert err < 1e-10, "decomposition changed the physics!"
+
+    # byte accounting: phi vs mu ghost volumes
+    dist = DistributedSimulation(
+        SHAPE, (2, 2, 1), system=system, params=ref.params,
+        temperature=ref.temperature, kernel="buffered",
+    )
+    res = dist.run(1, phi0, mu0)
+    print("\nper-rank ghost-exchange totals after 1 step "
+          "(phi carries 4 values/cell, mu carries 2):")
+    for s in res.stats:
+        print(f"  rank {s.rank}: {s.comm_messages} messages, "
+              f"{s.comm_bytes / 1024:.1f} KiB")
+    print("\nall decompositions and both schedules reproduce the "
+          "single-block result.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Parameter study: pulling velocity vs lamellar spacing.
+
+"The simulations allow us to conduct parameter variations under
+well-defined conditions" (Sec. 5.2) — the classic directional-
+solidification study is the velocity-spacing relation (Jackson-Hunt:
+faster pulling selects finer lamellae, lambda^2 * v ~ const).  This
+example sweeps the pulling velocity in 2-D and reports the selected
+transverse spacing and the front undercooling.
+
+Usage:  python examples/parameter_study.py
+"""
+
+import numpy as np
+
+from repro import FrozenTemperature, Simulation, TernaryEutecticSystem
+from repro.analysis.correlation import lamella_spacing
+from repro.analysis.fractions import solid_phase_fractions
+
+
+def run_case(system, velocity: float, steps: int = 900):
+    temperature = FrozenTemperature(
+        t_ref=system.t_eutectic, gradient=0.3, velocity=velocity, z0=24.0,
+    )
+    sim = Simulation(
+        shape=(64, 72), system=system, temperature=temperature,
+        kernel="shortcut",
+    )
+    sim.initialize_voronoi(seed=12, solid_height=14, n_seeds=24)
+    sim.step(steps)
+    phi = sim.phi.interior_src
+    front = sim.front_position()
+    zc = max(int(front) - 3, 1)
+    # spacing of the dominant solid phase just below the front
+    solid = solid_phase_fractions(phi, system)
+    s0 = system.phase_set.solid_indices[
+        int(np.argmax([solid[s] for s in system.phase_set.solid_indices]))
+    ]
+    spacing = lamella_spacing(phi[s0, :, zc], axis=0)
+    undercooling = system.t_eutectic - sim.temperature.at_position(
+        sim.time, front, sim.z_offset
+    )
+    return dict(
+        velocity=velocity, front=front, spacing=spacing,
+        undercooling=undercooling, solid=solid,
+    )
+
+
+def main() -> None:
+    system = TernaryEutecticSystem()
+    print("velocity sweep (2-D, 64x72, 900 steps each):\n")
+    print(f"{'v':>8} {'front z':>9} {'spacing':>9} {'undercool':>10} "
+          f"{'Al':>6} {'Ag2Al':>6} {'Al2Cu':>6}")
+    results = []
+    for v in (0.02, 0.05, 0.10):
+        r = run_case(system, v)
+        results.append(r)
+        s = r["solid"]
+        print(f"{r['velocity']:>8.2f} {r['front']:>9.2f} {r['spacing']:>9.1f} "
+              f"{r['undercooling']:>10.2f} "
+              f"{s[0]:>6.2f} {s[1]:>6.2f} {s[2]:>6.2f}")
+    print("\nexpected trends: higher pulling velocity -> larger front "
+          "undercooling\n(the front lags the isotherm) and equal or finer "
+          "lamellar spacing.")
+    # monotone undercooling
+    u = [r["undercooling"] for r in results]
+    assert u[0] <= u[1] <= u[2], "undercooling should grow with velocity"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Regenerate the performance-model curves of Figs. 7, 8 and 9.
+
+Prints the intranode scaling of the mu-kernel, the communication-hiding
+comparison, and the weak-scaling curves for the three supercomputers the
+paper evaluated (SuperMUC, Hornet, JUQUEEN) — driven by the machine
+descriptions, the kernel cost model and the LogGP-style network model.
+
+Usage:  python examples/scaling_study.py
+"""
+
+from repro.perf.kernel_analysis import (
+    mu_kernel_cost,
+    phi_kernel_cost,
+    port_pressure_bound,
+)
+from repro.perf.machines import HORNET, JUQUEEN, SUPERMUC
+from repro.perf.roofline import bytes_per_cell, roofline
+from repro.perf.scaling import (
+    SCENARIO_COST,
+    comm_time_per_step,
+    intranode_scaling,
+    weak_scaling_curve,
+)
+
+
+def ascii_series(values, width: int = 40) -> list[str]:
+    top = max(values)
+    return ["#" * max(int(v / top * width), 1) for v in values]
+
+
+def main() -> None:
+    # ---- roofline headline (Sec. 5.1.1) ---------------------------------
+    mu_cost = mu_kernel_cost()
+    rl = roofline(SUPERMUC, 1384.0, bytes_per_cell(4, 2))
+    print("Roofline (mu-kernel, SuperMUC node):")
+    print(f"  bytes/cell from memory : {bytes_per_cell(4, 2):.0f}  (paper: 680)")
+    print(f"  memory roof            : {rl.memory_bound_mlups_node:.1f} MLUP/s"
+          "  (paper: 126.3)")
+    print(f"  verdict                : {'memory' if rl.memory_bound else 'compute'}"
+          " bound")
+    print(f"  IACA-style port bound  : mu {port_pressure_bound(mu_cost):.0%}, "
+          f"phi {port_pressure_bound(phi_kernel_cost()):.0%}"
+          "  (paper IACA: 43% / n.a.)")
+
+    # ---- Fig. 7 ----------------------------------------------------------
+    cores = [1, 2, 4, 8, 16]
+    print("\nFig. 7 — intranode mu-kernel scaling (SuperMUC, model):")
+    for edge in (40, 20):
+        series = intranode_scaling(SUPERMUC, cores, edge)
+        print(f"  block {edge}^3:")
+        for c, v, bar in zip(cores, series, ascii_series(series)):
+            print(f"    {c:>2} cores {v:>7.1f} MLUP/s  {bar}")
+
+    # ---- Fig. 8 ----------------------------------------------------------
+    print("\nFig. 8 — communication time per step (SuperMUC, 60^3 blocks):")
+    sizes = [2**k for k in range(5, 13, 2)]
+    for op, om, label in [
+        (False, False, "no overlap"),
+        (False, True, "mu overlap (production choice)"),
+        (True, True, "both overlapped"),
+    ]:
+        rows = comm_time_per_step(SUPERMUC, sizes, overlap_phi=op, overlap_mu=om)
+        series = ", ".join(
+            f"{r.cores}: phi {r.phi * 1e3:.2f} / mu {r.mu * 1e3:.2f} ms"
+            for r in rows
+        )
+        print(f"  {label:<32} {series}")
+
+    # ---- Fig. 9 ----------------------------------------------------------
+    print("\nFig. 9 — weak scaling, per-core MLUP/s:")
+    for machine, top in [(SUPERMUC, 15), (HORNET, 13), (JUQUEEN, 18)]:
+        sizes = [2**k for k in range(5, top + 1, 5)]
+        curve = weak_scaling_curve(machine, sizes, "interface")
+        series = ", ".join(f"{c}: {v:.3f}" for c, v in zip(sizes, curve))
+        print(f"  {machine.name:<9} {series}")
+    print("  SuperMUC scenario split at 2^15 cores:")
+    for s in SCENARIO_COST:
+        v = weak_scaling_curve(SUPERMUC, [2**15], s)[0]
+        print(f"    {s:<10} {v:.3f} MLUP/s per core")
+
+
+if __name__ == "__main__":
+    main()

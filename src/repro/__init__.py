@@ -1,0 +1,32 @@
+"""repro — massively parallel phase-field simulations, reproduced in Python.
+
+A from-scratch reproduction of Bauer et al., "Massively Parallel
+Phase-Field Simulations for Ternary Eutectic Directional Solidification"
+(SC 2015): the grand-potential phase-field model with anti-trapping
+current, the waLBerla-style block-structured substrate, a simulated MPI
+runtime, the node-level optimization ladder, the mesh-based I/O pipeline,
+and the performance models that regenerate every figure of the paper's
+evaluation.  See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    ConstantTemperature,
+    FrozenTemperature,
+    MovingWindow,
+    PhaseFieldParameters,
+    Simulation,
+)
+from repro.thermo import TernaryEutecticSystem
+
+__all__ = [
+    "ConstantTemperature",
+    "FrozenTemperature",
+    "MovingWindow",
+    "PhaseFieldParameters",
+    "Simulation",
+    "TernaryEutecticSystem",
+    "__version__",
+]

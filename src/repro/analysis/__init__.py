@@ -1,0 +1,36 @@
+"""Microstructure analysis substrate.
+
+The paper validates its simulations against experimental micrographs
+(2-D cross-sections) and synchrotron tomography (3-D), observing
+"chained brick-like structures that are connected or form ring-like
+structures" and quantifying agreement with phase fractions and two-point
+correlations (a PCA-based comparison is announced as follow-up work).
+This package computes those observables from simulated fields:
+
+* :mod:`repro.analysis.fractions` — phase fractions vs. the lever rule,
+* :mod:`repro.analysis.correlation` — FFT two-point correlations, lamella
+  spacing,
+* :mod:`repro.analysis.topology` — ring / chain / brick / connection
+  classification of cross-sections via networkx,
+* :mod:`repro.analysis.pca` — PCA over two-point correlation maps.
+"""
+
+from repro.analysis.fractions import phase_fractions, solid_phase_fractions
+from repro.analysis.correlation import (
+    lamella_spacing,
+    radial_average,
+    two_point_correlation,
+)
+from repro.analysis.topology import classify_cross_section, microstructure_graph
+from repro.analysis.pca import correlation_pca
+
+__all__ = [
+    "phase_fractions",
+    "solid_phase_fractions",
+    "two_point_correlation",
+    "radial_average",
+    "lamella_spacing",
+    "classify_cross_section",
+    "microstructure_graph",
+    "correlation_pca",
+]

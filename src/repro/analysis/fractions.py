@@ -1,0 +1,49 @@
+"""Phase-fraction observables.
+
+The Ag-Al-Cu system is attractive experimentally because the three solid
+phases appear with "similar phase fractions in micrographs"; a correct
+simulation must reproduce the lever-rule fractions of the eutectic
+reaction in the solidified region.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.thermo.system import TernaryEutecticSystem
+
+__all__ = ["phase_fractions", "solid_phase_fractions"]
+
+
+def phase_fractions(phi: np.ndarray) -> np.ndarray:
+    """Mean order-parameter value per phase over the whole field.
+
+    *phi* has shape ``(N,) + S``; returns shape ``(N,)``.
+    """
+    phi = np.asarray(phi)
+    return phi.reshape(phi.shape[0], -1).mean(axis=1)
+
+
+def solid_phase_fractions(
+    phi: np.ndarray, system: TernaryEutecticSystem, *, liquid_cut: float = 0.5
+) -> np.ndarray:
+    """Solid fractions within the solidified region, normalized to 1.
+
+    Only cells with liquid fraction below *liquid_cut* are counted (the
+    region a micrograph of the solidified sample would show).  Returns the
+    per-solid-phase fractions in phase order (liquid entry zero); all
+    zeros if nothing has solidified yet.
+    """
+    phi = np.asarray(phi)
+    ell = system.liquid_index
+    mask = phi[ell] < liquid_cut
+    out = np.zeros(phi.shape[0])
+    if not np.any(mask):
+        return out
+    total = 0.0
+    for s in system.phase_set.solid_indices:
+        out[s] = phi[s][mask].sum()
+        total += out[s]
+    if total > 0:
+        out /= total
+    return out

@@ -1,0 +1,26 @@
+"""Core library: the grand-potential phase-field model of the paper.
+
+Public entry points:
+
+* :class:`repro.core.solver.Simulation` — single-block driver,
+* :class:`repro.core.parameters.PhaseFieldParameters` — model parameters,
+* :class:`repro.core.temperature.FrozenTemperature` — directional
+  solidification temperature frame,
+* :mod:`repro.core.kernels` — the optimization-ladder compute kernels,
+* :func:`repro.core.nucleation.voronoi_initial_condition` — initial setup,
+* :mod:`repro.core.scenarios` — the interface/liquid/solid benchmark blocks.
+"""
+
+from repro.core.moving_window import MovingWindow
+from repro.core.parameters import PhaseFieldParameters
+from repro.core.solver import Simulation, SimulationReport
+from repro.core.temperature import ConstantTemperature, FrozenTemperature
+
+__all__ = [
+    "MovingWindow",
+    "PhaseFieldParameters",
+    "Simulation",
+    "SimulationReport",
+    "ConstantTemperature",
+    "FrozenTemperature",
+]

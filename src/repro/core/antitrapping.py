@@ -1,0 +1,109 @@
+"""Anti-trapping current ``J_at`` (Eq. 4 of the paper).
+
+Thin-interface correction flux that counteracts the spurious solute
+trapping of the diffuse interface.  For each solid phase ``a`` it pushes
+solute along the interface normal ``n_a = grad phi_a / |grad phi_a|``
+proportionally to the local solidification rate ``dphi_a/dt``:
+
+.. math::
+
+    J_{at} = \\frac{\\pi \\varepsilon}{4} \\sum_{a \\ne \\ell}
+        \\frac{g_a(\\phi) h_\\ell(\\phi)}{\\sqrt{\\phi_a \\phi_\\ell}}
+        \\frac{\\partial \\phi_a}{\\partial t}
+        \\left( \\hat n_a \\cdot \\hat n_\\ell \\right)
+        \\big( c_\\ell(\\mu) - c_a(\\mu) \\big) \\otimes \\hat n_a .
+
+With the choices ``g_a = phi_a`` and the Moelans ``h_l`` the singular
+``1/sqrt(phi_a phi_l)`` cancels analytically into the bounded prefactor
+``sqrt(phi_a phi_l) * phi_l / sum_b phi_b^2``; this module evaluates that
+regularized form.
+
+The flux is evaluated on *faces* (staggered positions).  The face-normal
+gradients use two-point differences and the tangential components averaged
+centered differences, which is precisely why the mu-update touches the
+D3C19 neighbourhood of both phi time levels (Fig. 1b).  The evaluation is
+skipped wherever no liquid is present — the "shortcut" the paper introduces
+for solid cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.parameters import PhaseFieldParameters
+from repro.core.stencils import face_avg, face_grad
+from repro.thermo.system import TernaryEutecticSystem
+
+__all__ = ["face_flux", "norm_guarded"]
+
+#: Gradient magnitudes below this are treated as "no interface" (the
+#: paper's zero-gradient shortcut check).
+GRAD_TOL = 1e-12
+
+
+def norm_guarded(vec: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Norm over the leading axis and a unit vector with 0/0 guarded.
+
+    Returns ``(norm, unit)`` where cells with ``norm <= GRAD_TOL`` get a
+    zero unit vector (their contribution must vanish anyway).
+    """
+    norm = np.sqrt((vec * vec).sum(axis=0))
+    safe = np.where(norm > GRAD_TOL, norm, 1.0)
+    unit = vec / safe
+    unit = np.where(norm > GRAD_TOL, unit, 0.0)
+    return norm, unit
+
+
+def face_flux(
+    system: TernaryEutecticSystem,
+    params: PhaseFieldParameters,
+    phi_src: np.ndarray,
+    phi_dst: np.ndarray,
+    mu: np.ndarray,
+    temperature_face,
+    k: int,
+) -> np.ndarray:
+    """Anti-trapping flux component ``J_at . e_k`` on the faces along *k*.
+
+    All field arguments are ghosted; *temperature_face* must broadcast
+    against the face-array shape (slice temperatures averaged onto faces
+    for the solidification axis, plain slice values otherwise).  Returns
+    shape ``(K-1,) + face_spatial``.
+    """
+    dim, dx, dt = params.dim, params.dx, params.dt
+    ell = system.liquid_index
+    n = system.n_phases
+
+    phi_f = np.stack([face_avg(phi_src[a], dim, k) for a in range(n)])
+    dphidt_f = np.stack(
+        [face_avg((phi_dst[a] - phi_src[a]), dim, k) for a in range(n)]
+    ) / dt
+    mu_f = np.stack([face_avg(mu[i], dim, k) for i in range(mu.shape[0])])
+
+    phi_f = np.clip(phi_f, 0.0, 1.0)
+    sq_sum = (phi_f * phi_f).sum(axis=0) + 1e-300
+
+    grad_l = face_grad(phi_src[ell], dim, k, dx)
+    _, n_l = norm_guarded(grad_l)
+
+    c_all = system.phase_concentrations(mu_f, temperature_face)  # (N, K-1, faces)
+    c_l = c_all[ell]
+
+    out = np.zeros_like(mu_f)
+    pref = np.pi * params.eps / 4.0
+    for a in range(n):
+        if a == ell:
+            continue
+        grad_a = face_grad(phi_src[a], dim, k, dx)
+        _, n_a = norm_guarded(grad_a)
+        # regularized g_a h_l / sqrt(phi_a phi_l)
+        amp = np.sqrt(phi_f[a] * phi_f[ell]) * phi_f[ell] / sq_sum
+        scal = (
+            pref
+            * amp
+            * dphidt_f[a]
+            * (n_a * n_l).sum(axis=0)
+            * n_a[k]
+        )
+        out += scal[None] * (c_l - c_all[a])
+    return out

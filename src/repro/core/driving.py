@@ -1,0 +1,55 @@
+"""Thermodynamic driving force ``psi(phi, mu, T)`` of Eq. (2).
+
+The grand-potential coupling interpolates the per-phase grand potentials
+``psi_a(mu, T)`` with the Moelans weights ``h_a(phi)``:
+
+.. math::
+
+    \\psi(\\phi, \\mu, T) = \\sum_b h_b(\\phi)\\, \\psi_b(\\mu, T), \\qquad
+    \\frac{\\partial \\psi}{\\partial \\phi_a}
+        = \\sum_b \\psi_b(\\mu, T) \\frac{\\partial h_b}{\\partial \\phi_a}.
+
+This is the term that injects the undercooling (via the temperature-
+dependent grand-potential offsets and solidus/liquidus slopes of the
+parabolic fits) into the phase-field evolution.  It is a purely local
+(D3C1) computation — one of the facts the kernel data-dependency analysis
+of Fig. 1 relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.interpolation import moelans_dh, moelans_h
+from repro.thermo.system import TernaryEutecticSystem
+
+__all__ = ["driving_force", "grand_potential_density"]
+
+
+def grand_potential_density(
+    system: TernaryEutecticSystem, phi: np.ndarray, mu: np.ndarray, temperature
+) -> np.ndarray:
+    """Mixture grand potential ``psi(phi, mu, T)`` per cell (diagnostics)."""
+    h = moelans_h(phi)
+    psi = system.grand_potentials(mu, temperature)
+    return (h * psi).sum(axis=0)
+
+
+def driving_force(
+    system: TernaryEutecticSystem,
+    phi: np.ndarray,
+    mu: np.ndarray,
+    temperature,
+    psi: np.ndarray | None = None,
+) -> np.ndarray:
+    """``dpsi/dphi_a`` per cell, shape ``(N,) + S``.
+
+    *phi* has shape ``(N,) + S`` and *mu* ``(K-1,) + S`` (no ghost layers;
+    the term is local).  *psi* may pass precomputed per-phase grand
+    potentials (the ``T(z)`` optimization precomputes their temperature-
+    dependent parts per slice).
+    """
+    if psi is None:
+        psi = system.grand_potentials(mu, temperature)
+    dh = moelans_dh(phi)  # (a, b) + S  =  dh_b / dphi_a
+    return np.einsum("ab...,b...->a...", dh, psi)

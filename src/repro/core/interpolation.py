@@ -1,0 +1,56 @@
+"""Interpolation functions ``h_a(phi)`` and ``g_a(phi)``.
+
+The driving force and the concentration coupling use a thermodynamically
+consistent multi-phase interpolation (Moelans, Acta Mat. 59, 2011 — the
+paper's Ref. [23]):
+
+.. math::
+
+    h_a(\\phi) = \\frac{\\phi_a^2}{\\sum_b \\phi_b^2}
+
+which forms a partition of unity on the simplex and has vanishing slope at
+the bulk states.  The mobility uses the simpler weight ``g_a = phi_a``
+(mass-conserving convex combination); both are exposed so kernels can make
+the same choice the reference implementation makes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["moelans_h", "moelans_dh", "linear_g"]
+
+#: Guard against 0/0 in fully degenerate cells (phi = 0 everywhere cannot
+#: occur on the simplex, but ghost cells may be uninitialized).
+_EPS = 1e-300
+
+
+def moelans_h(phi: np.ndarray) -> np.ndarray:
+    """Moelans interpolation weights, shape-preserving ``(N,) + S``."""
+    phi = np.asarray(phi, dtype=float)
+    sq = phi * phi
+    return sq / (sq.sum(axis=0) + _EPS)
+
+
+def moelans_dh(phi: np.ndarray) -> np.ndarray:
+    """Jacobian ``dh_b/dphi_a`` of the Moelans weights.
+
+    Returns shape ``(N, N) + S`` with index order ``[a, b]`` such that
+    ``out[a, b] = dh_b / dphi_a``:
+
+    .. math::
+
+        \\frac{\\partial h_b}{\\partial \\phi_a}
+            = \\frac{2 \\phi_a (\\delta_{ab} - h_b)}{\\sum_c \\phi_c^2}
+    """
+    phi = np.asarray(phi, dtype=float)
+    n = phi.shape[0]
+    sq_sum = (phi * phi).sum(axis=0) + _EPS
+    h = (phi * phi) / sq_sum
+    eye = np.eye(n).reshape((n, n) + (1,) * (phi.ndim - 1))
+    return 2.0 * phi[:, None] * (eye - h[None, :]) / sq_sum
+
+
+def linear_g(phi: np.ndarray) -> np.ndarray:
+    """Linear (lever-rule) weights ``g_a = phi_a`` clipped to ``[0, 1]``."""
+    return np.clip(np.asarray(phi, dtype=float), 0.0, 1.0)

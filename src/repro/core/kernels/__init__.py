@@ -1,0 +1,47 @@
+"""Compute kernels for the two sweeps of the model (phi and mu updates).
+
+This package mirrors the paper's node-level optimization ladder
+(Sec. 3.3 / Fig. 6).  Every rung is a *separate implementation* of the same
+mathematics; a regularly running equivalence test suite pins all of them to
+the pure-Python reference — exactly as the authors describe ("a regularly
+running test suite checks all kernel versions for equivalence").
+
+Ladder (in paper order, with the Python analog of each optimization):
+
+========== ============================================ =====================
+rung       paper                                         this repo
+========== ============================================ =====================
+reference  general-purpose C code (function pointers)    per-cell pure Python
+basic      basic waLBerla re-implementation              straightforward NumPy
+fused      explicit SIMD intrinsics                      in-place ops, scratch
+                                                         reuse, inline 2x2
+                                                         algebra (no einsum)
+tz         T(z) slice precomputation                     per-slice temperature
+                                                         coefficient arrays
+buffered   staggered-value buffering (Fig. 3)            face-flux arrays
+                                                         computed once per face
+shortcut   region-dependent term skipping                boolean-mask gather/
+                                                         scatter on interface
+                                                         and front cells
+========== ============================================ =====================
+"""
+
+from repro.core.kernels.api import (
+    KernelContext,
+    LADDER,
+    MU_KERNELS,
+    PHI_KERNELS,
+    get_mu_kernel,
+    get_phi_kernel,
+    make_context,
+)
+
+__all__ = [
+    "KernelContext",
+    "LADDER",
+    "MU_KERNELS",
+    "PHI_KERNELS",
+    "get_mu_kernel",
+    "get_phi_kernel",
+    "make_context",
+]

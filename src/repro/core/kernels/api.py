@@ -1,0 +1,157 @@
+"""Kernel interface, shared context and registry.
+
+Kernel signatures
+-----------------
+All kernels consume *ghosted* field arrays (one ghost layer) and return the
+*interior* update for the next time step:
+
+``phi_kernel(ctx, phi_src, mu_src, t_ghost) -> phi_dst_interior``
+    Implements Eqs. (1)-(2).  ``phi_src``: ``(N,) + S_g``; ``mu_src``:
+    ``(K-1,) + S_g``; ``t_ghost``: slice temperatures along the
+    solidification (last) axis *including ghost slices*, shape ``(nz+2,)``.
+
+``mu_kernel(ctx, mu_src, phi_src, phi_dst, t_old, t_new) -> mu_dst_interior``
+    Implements Eqs. (3)-(4).  Needs both phi time levels (Fig. 1b) and the
+    slice temperatures of both time levels (the dT/dt source term of the
+    frozen-temperature ansatz).
+
+The registry maps rung names (see package docstring) to implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.parameters import PhaseFieldParameters
+from repro.thermo.system import TernaryEutecticSystem
+
+
+@dataclass
+class KernelContext:
+    """Precomputed constants shared by all kernel invocations.
+
+    The optimized rungs avoid touching Python-level thermodynamics objects
+    in their hot path; everything they need is exported here as plain
+    arrays (this is the analog of the paper's specialization step that
+    removed per-cell indirect function calls).
+    """
+
+    system: TernaryEutecticSystem
+    params: PhaseFieldParameters
+    gamma: np.ndarray = field(init=False)
+    gamma_triple: float = field(init=False)
+    tau: np.ndarray = field(init=False)
+    eps: float = field(init=False)
+    liquid: int = field(init=False)
+    n_phases: int = field(init=False)
+    n_solutes: int = field(init=False)
+    inv_curv: np.ndarray = field(init=False)   # (N, k, k)
+    c_eq: np.ndarray = field(init=False)       # (N, k)
+    c_slope: np.ndarray = field(init=False)    # (N, k)
+    latent: np.ndarray = field(init=False)     # (N,)
+    diff: np.ndarray = field(init=False)       # (N,)
+    t_eut: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        p, s = self.params, self.system
+        self.gamma = p.gamma
+        self.gamma_triple = p.gamma_triple
+        self.tau = p.tau
+        self.eps = p.eps
+        self.liquid = s.liquid_index
+        self.n_phases = s.n_phases
+        self.n_solutes = s.n_solutes
+        self.inv_curv = s._inv_curv
+        self.c_eq = s._c_eq
+        self.c_slope = s._c_slope
+        self.latent = s._latent
+        self.diff = s.diffusivities
+        self.t_eut = s.t_eutectic
+
+    @property
+    def dim(self) -> int:
+        """Spatial dimension."""
+        return self.params.dim
+
+    def get_scratch(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
+        """Reusable scratch buffer (the optimized rungs avoid re-allocating
+        temporaries on every sweep, the NumPy analog of keeping values in
+        SIMD registers instead of spilling)."""
+        if not hasattr(self, "_scratch"):
+            self._scratch = {}
+        key = (name, shape)
+        buf = self._scratch.get(key)
+        if buf is None:
+            buf = np.empty(shape)
+            self._scratch[key] = buf
+        return buf
+
+    def broadcast_slices(self, values: np.ndarray) -> np.ndarray:
+        """Reshape a per-slice array ``(nz,)`` for broadcasting over the
+        trailing spatial axes."""
+        v = np.asarray(values, dtype=float)
+        return v.reshape((1,) * (self.dim - 1) + v.shape)
+
+
+def make_context(
+    system: TernaryEutecticSystem, params: PhaseFieldParameters
+) -> KernelContext:
+    """Build a :class:`KernelContext` (validates N consistency)."""
+    if system.n_phases != params.n_phases:
+        raise ValueError(
+            f"system has {system.n_phases} phases but parameters expect "
+            f"{params.n_phases}"
+        )
+    return KernelContext(system=system, params=params)
+
+
+#: Ladder order used by the Fig. 6 benchmark.
+LADDER = ("reference", "basic", "fused", "tz", "buffered", "shortcut")
+
+PHI_KERNELS: dict[str, object] = {}
+MU_KERNELS: dict[str, object] = {}
+
+
+def register(kind: str, name: str):
+    """Decorator registering a kernel implementation under *name*."""
+    table = {"phi": PHI_KERNELS, "mu": MU_KERNELS}[kind]
+
+    def deco(fn):
+        table[name] = fn
+        return fn
+
+    return deco
+
+
+def get_phi_kernel(name: str):
+    """Look up a phi-kernel by rung name (importing implementations lazily)."""
+    _ensure_loaded()
+    try:
+        return PHI_KERNELS[name]
+    except KeyError:
+        raise KeyError(f"unknown phi kernel {name!r}; have {sorted(PHI_KERNELS)}")
+
+
+def get_mu_kernel(name: str):
+    """Look up a mu-kernel by rung name (importing implementations lazily)."""
+    _ensure_loaded()
+    try:
+        return MU_KERNELS[name]
+    except KeyError:
+        raise KeyError(f"unknown mu kernel {name!r}; have {sorted(MU_KERNELS)}")
+
+
+def _ensure_loaded() -> None:
+    # Import for the side effect of registration; kept lazy so that partial
+    # installs (e.g. during docs builds) can import the API module alone.
+    from repro.core.kernels import (  # noqa: F401
+        basic,
+        buffered,
+        fused,
+        reference,
+        shortcut,
+        strategies,
+        tz,
+    )

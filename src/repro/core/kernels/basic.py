@@ -1,0 +1,121 @@
+"""Straightforward NumPy kernels — the "basic waLBerla" rung.
+
+A direct, readable transcription of Eqs. (1)-(4): whole-field NumPy
+expressions, fresh temporaries everywhere, temperature-dependent values
+evaluated as full fields, and *unbuffered* divergences (the flux through
+the minus and plus faces of every cell is computed independently, i.e.
+every interior face value is computed twice — the duplication the
+staggered-buffer rung later removes, cf. Fig. 3).
+
+These kernels are the correctness anchor the equivalence test suite pins
+the pure-Python reference and all optimized rungs against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.driving import driving_force
+from repro.core.gradient_energy import dA_dphi
+from repro.core.interpolation import moelans_h
+from repro.core.kernels.api import KernelContext, register
+from repro.core.kernels.common import interior_temperature, total_face_flux
+from repro.core.potential import dW_dphi
+from repro.core.simplex import project_simplex_field
+from repro.core.stencils import interior, shifted
+
+__all__ = ["phi_step", "mu_step"]
+
+
+def _pair_flux(phi_c, phi_n, a: int, b: int, gamma_ab: float, dx: float, sign: int):
+    """Gradient-energy flux through one face given centre/neighbour values.
+
+    ``sign=+1`` for the plus face (neighbour at +k), ``-1`` for the minus
+    face; the normal derivative is oriented outward along +k either way.
+    """
+    avg_a = 0.5 * (phi_c[a] + phi_n[a])
+    avg_b = 0.5 * (phi_c[b] + phi_n[b])
+    da = sign * (phi_n[a] - phi_c[a]) / dx
+    db = sign * (phi_n[b] - phi_c[b]) / dx
+    return 2.0 * gamma_ab * (avg_b * avg_b * da - avg_a * avg_b * db)
+
+
+def _divergence_unbuffered(ctx: KernelContext, phi_src: np.ndarray) -> np.ndarray:
+    """``div(da/d grad phi_a)`` computing both faces of every cell."""
+    dim, dx = ctx.dim, ctx.params.dx
+    n = ctx.n_phases
+    phi_c = interior(phi_src, dim)
+    out = np.zeros_like(phi_c)
+    for k in range(dim):
+        phi_p = shifted(phi_src, dim, k, +1)
+        phi_m = shifted(phi_src, dim, k, -1)
+        for a in range(n):
+            for b in range(n):
+                if b == a or ctx.gamma[a, b] == 0.0:
+                    continue
+                f_plus = _pair_flux(phi_c, phi_p, a, b, ctx.gamma[a, b], dx, +1)
+                f_minus = _pair_flux(phi_c, phi_m, a, b, ctx.gamma[a, b], dx, -1)
+                out[a] += (f_plus - f_minus) / dx
+    return out
+
+
+@register("phi", "basic")
+def phi_step(ctx: KernelContext, phi_src, mu_src, t_ghost):
+    """Eqs. (1)-(2): explicit Euler update of the order parameters."""
+    p = ctx.params
+    dim = p.dim
+    phi_i = interior(phi_src, dim)
+    mu_i = interior(mu_src, dim)
+    temp = interior_temperature(ctx, t_ghost)
+
+    grad_term = dA_dphi(phi_src, ctx.gamma, dim, p.dx) - _divergence_unbuffered(
+        ctx, phi_src
+    )
+    pot_term = dW_dphi(phi_i, ctx.gamma, ctx.gamma_triple)
+    psi_term = driving_force(ctx.system, phi_i, mu_i, temp)
+
+    rhs = temp * p.eps * grad_term + (temp / p.eps) * pot_term + psi_term
+    rhs = rhs - rhs.mean(axis=0)
+    tau = ctx.tau.reshape((ctx.n_phases,) + (1,) * dim)
+    phi_new = phi_i - (p.dt / (tau * p.eps)) * rhs
+    return project_simplex_field(phi_new)
+
+
+@register("mu", "basic")
+def mu_step(ctx: KernelContext, mu_src, phi_src, phi_dst, t_old, t_new):
+    """Eqs. (3)-(4): explicit update of the chemical potentials.
+
+    The susceptibility and ``dc/dT`` use the *new* interpolation weights
+    and the phase concentrations the *old* state, which makes the discrete
+    update exactly mass conserving for the affine parabolic thermodynamics
+    (see tests/test_conservation.py).
+    """
+    p = ctx.params
+    dim, dt, dx = p.dim, p.dt, p.dx
+    mu_i = interior(mu_src, dim)
+    h_old = moelans_h(interior(phi_src, dim))
+    h_new = moelans_h(interior(phi_dst, dim))
+    temp_old = interior_temperature(ctx, t_old)
+    temp_new = interior_temperature(ctx, t_new)
+
+    c_phase = ctx.system.phase_concentrations(mu_i, temp_old)  # (N,K-1)+S
+    src_phase = -np.einsum("a...,ai...->i...", h_new - h_old, c_phase) / dt
+    src_temp = -ctx.system.dc_dT(h_new) * ((temp_new - temp_old) / dt)
+
+    # unbuffered divergence: the full face-flux array is recomputed for the
+    # minus faces instead of reusing the plus-face values of the neighbour
+    div = None
+    for k in range(dim):
+        flux_hi = total_face_flux(ctx, mu_src, phi_src, phi_dst, t_old, k)
+        flux_lo = total_face_flux(ctx, mu_src, phi_src, phi_dst, t_old, k)
+        ax = flux_hi.ndim - dim + k
+        hi = [slice(None)] * flux_hi.ndim
+        lo = [slice(None)] * flux_hi.ndim
+        hi[ax] = slice(1, None)
+        lo[ax] = slice(0, -1)
+        term = (flux_hi[tuple(hi)] - flux_lo[tuple(lo)]) / dx
+        div = term if div is None else div + term
+
+    rhs = src_phase + src_temp + div
+    dmu = dt * ctx.system.solve_susceptibility(h_new, rhs)
+    return mu_i + dmu

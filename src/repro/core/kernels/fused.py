@@ -1,0 +1,31 @@
+"""Rung "fused": in-place ops, scratch reuse, inline small-matrix algebra.
+
+The NumPy analog of the paper's explicit SIMD vectorization stage (which
+also bundled common-subexpression precomputation): no per-cell Python
+dispatch, no einsum, temporaries fused in place.  Temperature-dependent
+coefficients are still materialized per cell and face fluxes still
+computed twice per cell — those are removed by the later rungs.
+"""
+
+from __future__ import annotations
+
+from repro.core.kernels.api import register
+from repro.core.kernels.optimized import mu_step_impl, phi_step_impl
+
+
+@register("phi", "fused")
+def phi_step(ctx, phi_src, mu_src, t_ghost):
+    """Fused phi sweep (full-field T, unbuffered faces, no shortcuts)."""
+    return phi_step_impl(
+        ctx, phi_src, mu_src, t_ghost,
+        full_field_t=True, buffered=False, shortcuts=False,
+    )
+
+
+@register("mu", "fused")
+def mu_step(ctx, mu_src, phi_src, phi_dst, t_old, t_new):
+    """Fused mu sweep (full-field T, unbuffered faces, no shortcuts)."""
+    return mu_step_impl(
+        ctx, mu_src, phi_src, phi_dst, t_old, t_new,
+        full_field_t=True, buffered=False, shortcuts=False,
+    )

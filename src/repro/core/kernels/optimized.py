@@ -1,0 +1,541 @@
+"""Configurable optimized kernel pipeline (rungs "fused" through "shortcut").
+
+One parametrized implementation realizes the cumulative optimization ladder
+of Sec. 3.3; the thin rung modules bind the flag combinations:
+
+``full_field_t=True``  (fused)
+    Temperature-dependent coefficients are *materialized per cell* — the
+    general situation where ``T`` is a full field.  The in-place scratch
+    reuse and inline (einsum-free) small-matrix algebra of this rung are
+    the NumPy analog of the explicit SIMD vectorization + common-
+    subexpression precomputation stage of the paper.
+
+``full_field_t=False``  (tz)
+    Exploits the frozen-temperature ansatz: every T-dependent coefficient
+    is evaluated once per z-slice as an ``(nz,)`` array broadcast along the
+    growth axis ("precompute all temperature dependent terms once for each
+    x-y-slice").
+
+``buffered=True``  (buffered)
+    Staggered face fluxes are computed once per face and differenced
+    (Fig. 3) instead of twice per cell — halving the flux work that
+    dominates the mu-kernel.
+
+``shortcuts=True``  (shortcut)
+    Region-dependent term skipping: the phi update runs only on the
+    z-slab containing diffuse interface, the driving force only on actual
+    interface cells (gather/scatter), and the anti-trapping current and
+    phase-source terms of the mu update only on the interface band.  Bulk
+    liquid/solid blocks skip the expensive terms entirely — reproducing
+    the scenario-dependent runtimes of Figs. 5/6/9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.antitrapping import face_flux as antitrapping_face_flux
+from repro.core.gradient_energy import dA_dphi, divergence_term
+from repro.core.kernels.api import KernelContext
+from repro.core.kernels.basic import _divergence_unbuffered
+from repro.core.kernels.common import face_temperature
+from repro.core.potential import OBSTACLE_PREFACTOR, dW_dphi
+from repro.core.simplex import project_simplex_field
+from repro.core.stencils import div_faces, face_avg, face_diff, interior
+
+__all__ = [
+    "phi_step_impl",
+    "mu_step_impl",
+    "mu_step_local_impl",
+    "mu_step_neighbor_impl",
+]
+
+_TOL = 1e-9
+
+
+# --------------------------------------------------------------------------
+# temperature coefficient precomputation
+# --------------------------------------------------------------------------
+
+def _temp_layout(ctx: KernelContext, t_interior: np.ndarray, spatial, full_field: bool):
+    """Slice temperatures as a broadcastable view or a materialized field."""
+    t = ctx.broadcast_slices(t_interior)
+    if full_field:
+        out = np.empty(spatial)
+        out[...] = t
+        return out
+    return t
+
+
+def _cmin_all(ctx: KernelContext, temp) -> np.ndarray:
+    """``c_min_a(T)`` for all phases: (N, K-1) + broadcast(T) shape."""
+    dt = np.asarray(temp) - ctx.t_eut
+    return ctx.c_eq.reshape(ctx.c_eq.shape + (1,) * dt.ndim) + np.multiply.outer(
+        ctx.c_slope, dt
+    )
+
+
+# --------------------------------------------------------------------------
+# phi kernel
+# --------------------------------------------------------------------------
+
+def _psi_phase_inline(ctx: KernelContext, mu, temp) -> np.ndarray:
+    """Per-phase grand potentials with inline quadratic forms (no einsum)."""
+    n, k = ctx.n_phases, ctx.n_solutes
+    dt = np.asarray(temp) - ctx.t_eut
+    out = []
+    for a in range(n):
+        inv = ctx.inv_curv[a]
+        quad = 0.0
+        for i in range(k):
+            quad = quad + inv[i, i] * mu[i] * mu[i]
+            for j in range(i + 1, k):
+                quad = quad + 2.0 * inv[i, j] * mu[i] * mu[j]
+        lin = 0.0
+        for i in range(k):
+            lin = lin + mu[i] * (ctx.c_eq[a][i] + ctx.c_slope[a][i] * dt)
+        out.append(-0.5 * quad - lin + ctx.latent[a] * dt)
+    return np.stack(np.broadcast_arrays(*out))
+
+
+def _driving_inline(ctx: KernelContext, phi, mu, temp) -> np.ndarray:
+    """``dpsi/dphi_a`` using the O(N) common-subexpression form.
+
+    ``sum_b psi_b dh_b/dphi_a = 2 phi_a (psi_a - sum_b h_b psi_b) / sum phi^2``.
+    """
+    sq = phi * phi
+    sq_sum = sq.sum(axis=0) + 1e-300
+    psi = _psi_phase_inline(ctx, mu, temp)
+    weighted = (sq * psi).sum(axis=0) / sq_sum
+    return (2.0 / sq_sum) * phi * (psi - weighted)
+
+
+def _phi_window(
+    ctx: KernelContext,
+    phi_g: np.ndarray,
+    mu_g: np.ndarray,
+    t_g: np.ndarray,
+    *,
+    full_field_t: bool,
+    buffered: bool,
+    cell_mask: np.ndarray | None,
+) -> np.ndarray:
+    """Run the phi update on one (possibly z-windowed) ghosted region."""
+    p = ctx.params
+    dim, dx, eps = p.dim, p.dx, p.eps
+    phi_i = interior(phi_g, dim)
+    mu_i = interior(mu_g, dim)
+    spatial = phi_i.shape[1:]
+    temp = _temp_layout(ctx, t_g[1:-1], spatial, full_field_t)
+
+    if buffered:
+        div = divergence_term(phi_g, ctx.gamma, dim, dx)
+    else:
+        div = _divergence_unbuffered(ctx, phi_g)
+    rhs = dA_dphi(phi_g, ctx.gamma, dim, dx)
+    rhs -= div
+    rhs *= temp * eps
+    pot = dW_dphi(phi_i, ctx.gamma, ctx.gamma_triple)
+    pot *= temp / eps
+    rhs += pot
+
+    if cell_mask is None:
+        rhs += _driving_inline(ctx, phi_i, mu_i, temp)
+    else:
+        idx = np.nonzero(cell_mask)
+        if idx[0].size:
+            phi_c = phi_i[(slice(None),) + idx]
+            mu_c = mu_i[(slice(None),) + idx]
+            if np.ndim(temp) and temp.shape == spatial:
+                t_c = temp[idx]
+            else:
+                t_c = np.broadcast_to(temp, spatial)[idx]
+            contrib = _driving_inline(ctx, phi_c, mu_c, t_c)
+            rhs[(slice(None),) + idx] += contrib
+
+    rhs -= rhs.mean(axis=0)
+    rhs *= -(p.dt / eps) / ctx.tau.reshape((ctx.n_phases,) + (1,) * dim)
+    rhs += phi_i
+    return project_simplex_field(rhs, out=rhs)
+
+
+def _interface_masks(ctx: KernelContext, phi_g: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``(diffuse, active)`` masks over interior cells.
+
+    *diffuse* marks cells whose phase vector is mixed (the only cells with
+    a nonzero driving force).  *active* additionally marks pure cells with
+    a differing neighbour — the paper's bulk definition requires
+    ``phi_a = 1`` *and* ``|grad phi_a| = 0``, so sharp solid-solid
+    boundaries still evolve and must not be skipped.
+    """
+    from repro.core.stencils import shifted
+
+    dim = ctx.dim
+    phi_i = interior(phi_g, dim)
+    diffuse = phi_i.max(axis=0) < 1.0 - _TOL
+    active = diffuse.copy()
+    for k in range(dim):
+        for s in (-1, +1):
+            nb = shifted(phi_g, dim, k, s)
+            active |= np.abs(nb - phi_i).max(axis=0) > _TOL
+    return diffuse, active
+
+
+def _front_mask(ctx: KernelContext, phi_g: np.ndarray, active: np.ndarray) -> np.ndarray:
+    """Active cells with liquid in their direct neighbourhood (incl. ghosts).
+
+    The anti-trapping current lives on faces, so a cell whose *neighbour*
+    (possibly a ghost cell) holds liquid still sees a nonzero flux.
+    """
+    from repro.core.stencils import shifted
+
+    dim = ctx.dim
+    phil = phi_g[ctx.liquid]
+    near = interior(phil, dim) > _TOL
+    for k in range(dim):
+        for s in (-1, +1):
+            near |= shifted(phil, dim, k, s) > _TOL
+    return active & near
+
+
+def _z_window(mask: np.ndarray, nz: int, margin: int = 1) -> tuple[int, int] | None:
+    """Contiguous z-slab (last axis) covering all True cells, dilated."""
+    any_z = mask.any(axis=tuple(range(mask.ndim - 1)))
+    nz_idx = np.nonzero(any_z)[0]
+    if nz_idx.size == 0:
+        return None
+    return max(int(nz_idx[0]) - margin, 0), min(int(nz_idx[-1]) + 1 + margin, nz)
+
+
+def phi_step_impl(
+    ctx: KernelContext,
+    phi_src: np.ndarray,
+    mu_src: np.ndarray,
+    t_ghost: np.ndarray,
+    *,
+    full_field_t: bool,
+    buffered: bool,
+    shortcuts: bool,
+) -> np.ndarray:
+    """Optimized phi sweep (see module docstring for the flags)."""
+    dim = ctx.dim
+    phi_i = interior(phi_src, dim)
+    if not shortcuts:
+        return _phi_window(
+            ctx, phi_src, mu_src, t_ghost,
+            full_field_t=full_field_t, buffered=buffered, cell_mask=None,
+        )
+    diffuse, active = _interface_masks(ctx, phi_src)
+    nz = phi_i.shape[-1]
+    win = _z_window(active, nz)
+    out = phi_i.copy()
+    if win is None:
+        return out
+    z0, z1 = win
+    sl_g = (Ellipsis, slice(z0, z1 + 2))
+    phi_new = _phi_window(
+        ctx,
+        phi_src[sl_g],
+        mu_src[sl_g],
+        np.asarray(t_ghost)[z0 : z1 + 2],
+        full_field_t=full_field_t,
+        buffered=buffered,
+        cell_mask=diffuse[..., z0:z1],
+    )
+    out[..., z0:z1] = phi_new
+    return out
+
+
+# --------------------------------------------------------------------------
+# mu kernel
+# --------------------------------------------------------------------------
+
+def _mobility_face_flux(ctx: KernelContext, mu_src, phi_src, k: int) -> np.ndarray:
+    """``(M grad mu) . e_k`` at the faces along *k* with inline algebra."""
+    dim, dx = ctx.dim, ctx.params.dx
+    n, ks = ctx.n_phases, ctx.n_solutes
+    w = np.clip(
+        np.stack([face_avg(phi_src[a], dim, k) for a in range(n)]), 0.0, 1.0
+    )
+    dmu = [face_diff(mu_src[i], dim, k, dx) for i in range(ks)]
+    coeff = ctx.inv_curv * ctx.diff[:, None, None]  # (N, k, k)
+    out = np.zeros((ks,) + w.shape[1:])
+    for a in range(n):
+        for i in range(ks):
+            for j in range(ks):
+                if coeff[a, i, j] != 0.0:
+                    out[i] += (coeff[a, i, j] * w[a]) * dmu[j]
+    return out
+
+
+def _solve_chi_inline(ctx: KernelContext, h_new, rhs) -> np.ndarray:
+    """Per-cell solve of ``chi x = rhs`` with the analytic 2x2 inverse."""
+    ks = ctx.n_solutes
+    inv = ctx.inv_curv
+    if ks == 2:
+        a = b = c = d = 0.0
+        for p_ in range(ctx.n_phases):
+            a = a + h_new[p_] * inv[p_, 0, 0]
+            b = b + h_new[p_] * inv[p_, 0, 1]
+            c = c + h_new[p_] * inv[p_, 1, 0]
+            d = d + h_new[p_] * inv[p_, 1, 1]
+        det = a * d - b * c
+        return np.stack([
+            (d * rhs[0] - b * rhs[1]) / det,
+            (a * rhs[1] - c * rhs[0]) / det,
+        ])
+    return ctx.system.solve_susceptibility(h_new, rhs)
+
+
+def mu_step_impl(
+    ctx: KernelContext,
+    mu_src: np.ndarray,
+    phi_src: np.ndarray,
+    phi_dst: np.ndarray,
+    t_old: np.ndarray,
+    t_new: np.ndarray,
+    *,
+    full_field_t: bool,
+    buffered: bool,
+    shortcuts: bool,
+    include_antitrapping: bool = True,
+) -> np.ndarray:
+    """Optimized mu sweep (see module docstring for the flags).
+
+    With ``include_antitrapping=False`` only the *local* part of Eq. (3)
+    is evaluated (everything except ``div J_at``) — the "mu-sweep-local"
+    of Algorithm 2 that can run while the phi ghost layers are in flight.
+    """
+    p = ctx.params
+    dim, dx, dt = p.dim, p.dx, p.dt
+    n = ctx.n_phases
+    mu_i = interior(mu_src, dim)
+    phi_i_old = interior(phi_src, dim)
+    phi_i_new = interior(phi_dst, dim)
+    spatial = mu_i.shape[1:]
+
+    temp_old = _temp_layout(ctx, np.asarray(t_old)[1:-1], spatial, full_field_t)
+    temp_new = _temp_layout(ctx, np.asarray(t_new)[1:-1], spatial, full_field_t)
+
+    sq_new = phi_i_new * phi_i_new
+    h_new = sq_new / (sq_new.sum(axis=0) + 1e-300)
+
+    # ---- diffusive flux divergence (everywhere) -------------------------
+    div = None
+    for k in range(dim):
+        if buffered:
+            flux = _mobility_face_flux(ctx, mu_src, phi_src, k)
+            ax = flux.ndim - dim + k
+            hi = [slice(None)] * flux.ndim
+            lo = [slice(None)] * flux.ndim
+            hi[ax] = slice(1, None)
+            lo[ax] = slice(0, -1)
+            term = (flux[tuple(hi)] - flux[tuple(lo)]) / dx
+        else:
+            flux_hi = _mobility_face_flux(ctx, mu_src, phi_src, k)
+            flux_lo = _mobility_face_flux(ctx, mu_src, phi_src, k)
+            ax = flux_hi.ndim - dim + k
+            hi = [slice(None)] * flux_hi.ndim
+            lo = [slice(None)] * flux_hi.ndim
+            hi[ax] = slice(1, None)
+            lo[ax] = slice(0, -1)
+            term = (flux_hi[tuple(hi)] - flux_lo[tuple(lo)]) / dx
+        div = term if div is None else div + term
+
+    # ---- temperature drift source (everywhere) --------------------------
+    dcdT = np.zeros((ctx.n_solutes,) + h_new.shape[1:])
+    for a in range(n):
+        for i in range(ctx.n_solutes):
+            if ctx.c_slope[a][i] != 0.0:
+                dcdT[i] += ctx.c_slope[a][i] * h_new[a]
+    rhs = div
+    rhs -= dcdT * ((temp_new - temp_old) / dt)
+
+    # ---- interface-band terms (phase source + anti-trapping) ------------
+    if shortcuts:
+        _, active = _interface_masks(ctx, phi_src)
+        win = _z_window(active, spatial[-1])
+        # the anti-trapping current additionally needs liquid nearby:
+        # bulk-solid blocks skip it entirely ("the runtime of the mu-kernel
+        # is improved especially in solid cells due to a simpler
+        # calculation of the anti-trapping current")
+        front = _front_mask(ctx, phi_src, active)
+        win_at = _z_window(front, spatial[-1])
+    else:
+        win = win_at = (0, spatial[-1])
+
+    if win is not None:
+        z0, z1 = win
+        sl_g = (Ellipsis, slice(z0, z1 + 2))
+        sl_i = (Ellipsis, slice(z0, z1))
+        t_old_w = np.asarray(t_old)[z0 : z1 + 2]
+        phi_src_w = phi_src[sl_g]
+        phi_dst_w = phi_dst[sl_g]
+        mu_src_w = mu_src[sl_g]
+
+        # phase-change source: -sum_a (h_new - h_old) c_a(mu_old, T_old) / dt
+        phi_w_old = phi_i_old[sl_i]
+        phi_w_new = phi_i_new[sl_i]
+        mu_w = mu_i[sl_i]
+        sq_o = phi_w_old * phi_w_old
+        h_o = sq_o / (sq_o.sum(axis=0) + 1e-300)
+        sq_n = phi_w_new * phi_w_new
+        h_n = sq_n / (sq_n.sum(axis=0) + 1e-300)
+        t_w = ctx.broadcast_slices(t_old_w[1:-1])
+        if full_field_t:
+            t_field = np.empty(phi_w_old.shape[1:])
+            t_field[...] = t_w
+            t_w = t_field
+        cmin = _cmin_all(ctx, t_w)  # (N, K-1) + win
+        src = np.zeros((ctx.n_solutes,) + phi_w_old.shape[1:])
+        for a in range(n):
+            dh = h_n[a] - h_o[a]
+            inv = ctx.inv_curv[a]
+            for i in range(ctx.n_solutes):
+                c_ai = cmin[a, i].copy() if hasattr(cmin[a, i], "copy") else cmin[a, i]
+                c_ai = c_ai + sum(
+                    inv[i, j] * mu_w[j] for j in range(ctx.n_solutes)
+                )
+                src[i] -= dh * c_ai
+        rhs[sl_i] += src / dt
+
+    # anti-trapping divergence inside the solidification-front window
+    if p.anti_trapping and include_antitrapping and win_at is not None:
+        z0, z1 = win_at
+        sl_g = (Ellipsis, slice(z0, z1 + 2))
+        sl_i = (Ellipsis, slice(z0, z1))
+        t_at_w = np.asarray(t_old)[z0 : z1 + 2]
+        phi_src_w = phi_src[sl_g]
+        phi_dst_w = phi_dst[sl_g]
+        mu_src_w = mu_src[sl_g]
+        div_jat = None
+        for k in range(dim):
+            t_face = face_temperature(ctx, t_at_w, k)
+            if buffered:
+                jat = antitrapping_face_flux(
+                    ctx.system, p, phi_src_w, phi_dst_w, mu_src_w, t_face, k
+                )
+                jat_hi = jat_lo = jat
+            else:
+                jat_hi = antitrapping_face_flux(
+                    ctx.system, p, phi_src_w, phi_dst_w, mu_src_w, t_face, k
+                )
+                jat_lo = antitrapping_face_flux(
+                    ctx.system, p, phi_src_w, phi_dst_w, mu_src_w, t_face, k
+                )
+            ax = jat_hi.ndim - dim + k
+            hi = [slice(None)] * jat_hi.ndim
+            lo = [slice(None)] * jat_hi.ndim
+            hi[ax] = slice(1, None)
+            lo[ax] = slice(0, -1)
+            term = (jat_hi[tuple(hi)] - jat_lo[tuple(lo)]) / dx
+            div_jat = term if div_jat is None else div_jat + term
+        rhs[sl_i] -= div_jat
+
+    dmu = _solve_chi_inline(ctx, h_new, rhs)
+    dmu *= dt
+    dmu += mu_i
+    return dmu
+
+
+def mu_step_local_impl(
+    ctx: KernelContext,
+    mu_src: np.ndarray,
+    phi_src: np.ndarray,
+    phi_dst: np.ndarray,
+    t_old: np.ndarray,
+    t_new: np.ndarray,
+    *,
+    full_field_t: bool = False,
+    buffered: bool = True,
+    shortcuts: bool = True,
+) -> np.ndarray:
+    """Local part of the mu sweep (Algorithm 2, line 6).
+
+    Everything in Eq. (3) except the anti-trapping divergence — its phi
+    dependencies are D3C1 on ``phi_dst`` and D3C7 on ``phi_src``/``mu_src``
+    (Fig. 4), so it can run while the ``phi_dst`` ghost layers are in
+    flight.
+    """
+    return mu_step_impl(
+        ctx, mu_src, phi_src, phi_dst, t_old, t_new,
+        full_field_t=full_field_t, buffered=buffered, shortcuts=shortcuts,
+        include_antitrapping=False,
+    )
+
+
+def mu_step_neighbor_impl(
+    ctx: KernelContext,
+    mu_partial: np.ndarray,
+    mu_src: np.ndarray,
+    phi_src: np.ndarray,
+    phi_dst: np.ndarray,
+    t_old: np.ndarray,
+    *,
+    full_field_t: bool = False,
+    buffered: bool = True,
+    shortcuts: bool = True,
+) -> np.ndarray:
+    """Neighbour part of the mu sweep (Algorithm 2, line 8).
+
+    Adds ``dt chi^{-1} (-div J_at)`` to the interior result of the local
+    part once the ``phi_dst`` ghost layers have arrived (J_at touches the
+    D3C19 neighbourhood of both phi time levels).  The susceptibility and
+    slice-temperature values are recomputed here — the overhead the paper
+    attributes to the split ("the temperature dependent values have to be
+    computed twice for each z-slice").
+    """
+    p = ctx.params
+    if not p.anti_trapping:
+        return mu_partial
+    dim, dx, dt = p.dim, p.dx, p.dt
+    phi_i_new = interior(phi_dst, dim)
+    spatial = phi_i_new.shape[1:]
+
+    if shortcuts:
+        _, active = _interface_masks(ctx, phi_src)
+        front = _front_mask(ctx, phi_src, active)
+        win = _z_window(front, spatial[-1])
+    else:
+        win = (0, spatial[-1])
+    if win is None:
+        return mu_partial
+
+    z0, z1 = win
+    sl_g = (Ellipsis, slice(z0, z1 + 2))
+    sl_i = (Ellipsis, slice(z0, z1))
+    t_old_w = np.asarray(t_old)[z0 : z1 + 2]
+
+    div_jat = None
+    for k in range(dim):
+        t_face = face_temperature(ctx, t_old_w, k)
+        if buffered:
+            jat = antitrapping_face_flux(
+                ctx.system, p, phi_src[sl_g], phi_dst[sl_g], mu_src[sl_g],
+                t_face, k,
+            )
+            jat_hi = jat_lo = jat
+        else:
+            jat_hi = antitrapping_face_flux(
+                ctx.system, p, phi_src[sl_g], phi_dst[sl_g], mu_src[sl_g],
+                t_face, k,
+            )
+            jat_lo = antitrapping_face_flux(
+                ctx.system, p, phi_src[sl_g], phi_dst[sl_g], mu_src[sl_g],
+                t_face, k,
+            )
+        ax = jat_hi.ndim - dim + k
+        hi = [slice(None)] * jat_hi.ndim
+        lo = [slice(None)] * jat_hi.ndim
+        hi[ax] = slice(1, None)
+        lo[ax] = slice(0, -1)
+        term = (jat_hi[tuple(hi)] - jat_lo[tuple(lo)]) / dx
+        div_jat = term if div_jat is None else div_jat + term
+
+    # susceptibility recomputed from the new interpolation weights
+    sq_new = phi_i_new[sl_i] * phi_i_new[sl_i]
+    h_new = sq_new / (sq_new.sum(axis=0) + 1e-300)
+    dmu = _solve_chi_inline(ctx, h_new, -div_jat)
+    out = mu_partial.copy()
+    out[sl_i] += dt * dmu
+    return out

@@ -1,0 +1,276 @@
+"""Per-cell pure-Python kernels — the "general purpose code" rung.
+
+Mirrors the structure of the original PACE3D-style implementation the
+paper started from: a cell-wise loop that dispatches through per-term
+callables (the analog of the indirect function calls at cell level the
+waLBerla specialization removed).  Mathematically identical to
+:mod:`repro.core.kernels.basic`; orders of magnitude slower, intended for
+tiny domains in the equivalence test suite and as the Fig. 6 baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernels.api import KernelContext, register
+from repro.core.simplex import project_simplex
+
+__all__ = ["phi_step", "mu_step"]
+
+
+def _cell(arr: np.ndarray, dim: int, idx: tuple[int, ...], shift: tuple[int, ...] | None = None):
+    """Value(s) at the ghosted position of interior cell *idx* (+shift)."""
+    pos = tuple(
+        i + 1 + (shift[d] if shift else 0) for d, i in enumerate(idx)
+    )
+    return arr[(Ellipsis,) + pos]
+
+
+def _unit(dim: int, k: int, s: int) -> tuple[int, ...]:
+    e = [0] * dim
+    e[k] = s
+    return tuple(e)
+
+
+def _centered_grad(arr: np.ndarray, dim: int, idx, dx: float) -> np.ndarray:
+    """Centered gradient of all leading components at interior cell *idx*.
+
+    Returns shape ``(dim,) + lead``.
+    """
+    comps = []
+    for k in range(dim):
+        hi = _cell(arr, dim, idx, _unit(dim, k, +1))
+        lo = _cell(arr, dim, idx, _unit(dim, k, -1))
+        comps.append((hi - lo) / (2.0 * dx))
+    return np.stack(comps)
+
+
+def _grad_energy_dphi(ctx: KernelContext, phi_c, grad_phi) -> np.ndarray:
+    """``da/dphi_a`` for one cell (grad_phi: (dim, N))."""
+    n = ctx.n_phases
+    out = np.zeros(n)
+    for a in range(n):
+        for b in range(n):
+            if b == a or ctx.gamma[a, b] == 0.0:
+                continue
+            q = phi_c[a] * grad_phi[:, b] - phi_c[b] * grad_phi[:, a]
+            out[a] += 2.0 * ctx.gamma[a, b] * float(q @ grad_phi[:, b])
+    return out
+
+
+def _grad_energy_div(ctx: KernelContext, phi_src, dim, idx, dx) -> np.ndarray:
+    """``div(da/d grad phi_a)`` for one cell via its 2*dim face fluxes."""
+    n = ctx.n_phases
+    phi_c = _cell(phi_src, dim, idx)
+    out = np.zeros(n)
+    for k in range(dim):
+        for sign in (+1, -1):
+            phi_n = _cell(phi_src, dim, idx, _unit(dim, k, sign))
+            for a in range(n):
+                acc = 0.0
+                for b in range(n):
+                    if b == a or ctx.gamma[a, b] == 0.0:
+                        continue
+                    avg_a = 0.5 * (phi_c[a] + phi_n[a])
+                    avg_b = 0.5 * (phi_c[b] + phi_n[b])
+                    da = sign * (phi_n[a] - phi_c[a]) / dx
+                    db = sign * (phi_n[b] - phi_c[b]) / dx
+                    acc += 2.0 * ctx.gamma[a, b] * (
+                        avg_b * avg_b * da - avg_a * avg_b * db
+                    )
+                out[a] += sign * acc / dx
+    return out
+
+
+def _obstacle_dphi(ctx: KernelContext, phi_c) -> np.ndarray:
+    """``dw/dphi_a`` for one cell."""
+    from repro.core.potential import OBSTACLE_PREFACTOR
+
+    n = ctx.n_phases
+    out = np.zeros(n)
+    for a in range(n):
+        for b in range(n):
+            if b != a:
+                out[a] += OBSTACLE_PREFACTOR * ctx.gamma[a, b] * phi_c[b]
+    if ctx.gamma_triple != 0.0:
+        for a in range(n):
+            for b in range(n):
+                if b == a:
+                    continue
+                for c in range(b + 1, n):
+                    if c == a:
+                        continue
+                    out[a] += ctx.gamma_triple * phi_c[b] * phi_c[c]
+    return out
+
+
+def _moelans_h(phi_c: np.ndarray) -> np.ndarray:
+    sq = phi_c * phi_c
+    return sq / (sq.sum() + 1e-300)
+
+
+def _grand_potentials(ctx: KernelContext, mu_c, t: float) -> np.ndarray:
+    n = ctx.n_phases
+    out = np.zeros(n)
+    dt = t - ctx.t_eut
+    for a in range(n):
+        inv = ctx.inv_curv[a]
+        cmin = ctx.c_eq[a] + ctx.c_slope[a] * dt
+        out[a] = -0.5 * float(mu_c @ inv @ mu_c) - float(mu_c @ cmin) + ctx.latent[a] * dt
+    return out
+
+
+def _driving_dphi(ctx: KernelContext, phi_c, mu_c, t: float) -> np.ndarray:
+    n = ctx.n_phases
+    sq_sum = float((phi_c * phi_c).sum()) + 1e-300
+    h = (phi_c * phi_c) / sq_sum
+    psi = _grand_potentials(ctx, mu_c, t)
+    out = np.zeros(n)
+    for a in range(n):
+        for b in range(n):
+            dh = 2.0 * phi_c[a] * ((1.0 if a == b else 0.0) - h[b]) / sq_sum
+            out[a] += psi[b] * dh
+    return out
+
+
+@register("phi", "reference")
+def phi_step(ctx: KernelContext, phi_src, mu_src, t_ghost):
+    """Cell-wise transcription of Eqs. (1)-(2)."""
+    p = ctx.params
+    dim, dx = p.dim, p.dx
+    shape = tuple(s - 2 for s in phi_src.shape[1:])
+    out = np.empty((ctx.n_phases,) + shape)
+    # "function pointer table" of the general-purpose code
+    terms = (_grad_energy_dphi, _grad_energy_div, _obstacle_dphi, _driving_dphi)
+    for idx in np.ndindex(*shape):
+        phi_c = _cell(phi_src, dim, idx)
+        mu_c = _cell(mu_src, dim, idx)
+        t = float(t_ghost[idx[-1] + 1])
+        grad_phi = _centered_grad(phi_src, dim, idx, dx)
+        rhs = (
+            t * p.eps * (terms[0](ctx, phi_c, grad_phi) - terms[1](ctx, phi_src, dim, idx, dx))
+            + (t / p.eps) * terms[2](ctx, phi_c)
+            + terms[3](ctx, phi_c, mu_c, t)
+        )
+        rhs = rhs - rhs.mean()
+        phi_new = phi_c - (p.dt / (ctx.tau * p.eps)) * rhs
+        out[(slice(None),) + idx] = project_simplex(phi_new)
+    return out
+
+
+def _face_grad(arr_a: np.ndarray, dim, idx, k: int, sign: int, dx: float) -> np.ndarray:
+    """Gradient of a single scalar component at the face (idx, idx+sign*e_k)."""
+    g = np.zeros(dim)
+    c = _cell(arr_a, dim, idx)
+    n = _cell(arr_a, dim, idx, _unit(dim, k, sign))
+    g[k] = sign * (n - c) / dx
+    for t in range(dim):
+        if t == k:
+            continue
+        # centered diff at both adjacent cells, averaged onto the face
+        def cgrad(shift):
+            hi = _cell(arr_a, dim, idx, tuple(
+                a + b for a, b in zip(shift, _unit(dim, t, +1))))
+            lo = _cell(arr_a, dim, idx, tuple(
+                a + b for a, b in zip(shift, _unit(dim, t, -1))))
+            return (hi - lo) / (2.0 * dx)
+
+        g[t] = 0.5 * (cgrad((0,) * dim) + cgrad(_unit(dim, k, sign)))
+    return g
+
+
+def _face_flux(ctx: KernelContext, mu_src, phi_src, phi_dst, t_face: float,
+               dim, idx, k: int, sign: int) -> np.ndarray:
+    """Total flux ``(M grad mu - J_at) . e_k`` through one face of a cell."""
+    p = ctx.params
+    dx, dt = p.dx, p.dt
+    shift = _unit(dim, k, sign)
+    phi_c = _cell(phi_src, dim, idx)
+    phi_n = _cell(phi_src, dim, idx, shift)
+    mu_c = _cell(mu_src, dim, idx)
+    mu_n = _cell(mu_src, dim, idx, shift)
+
+    w = np.clip(0.5 * (phi_c + phi_n), 0.0, 1.0)
+    dmu = sign * (mu_n - mu_c) / dx
+    flux = np.zeros(ctx.n_solutes)
+    for a in range(ctx.n_phases):
+        flux += w[a] * ctx.diff[a] * (ctx.inv_curv[a] @ dmu)
+
+    if not p.anti_trapping:
+        return flux
+
+    ell = ctx.liquid
+    phid_c = _cell(phi_dst, dim, idx)
+    phid_n = _cell(phi_dst, dim, idx, shift)
+    phi_f = np.clip(0.5 * (phi_c + phi_n), 0.0, 1.0)
+    dphidt_f = 0.5 * ((phid_c - phi_c) + (phid_n - phi_n)) / dt
+    mu_f = 0.5 * (mu_c + mu_n)
+    sq_sum = float((phi_f * phi_f).sum()) + 1e-300
+
+    grad_l = _face_grad(phi_src[ell], dim, idx, k, sign, dx)
+    norm_l = float(np.sqrt(grad_l @ grad_l))
+    n_l = grad_l / norm_l if norm_l > 1e-12 else np.zeros(dim)
+
+    dt_e = t_face - ctx.t_eut
+    c_l = ctx.c_eq[ell] + ctx.c_slope[ell] * dt_e + ctx.inv_curv[ell] @ mu_f
+    jat = np.zeros(ctx.n_solutes)
+    pref = np.pi * p.eps / 4.0
+    for a in range(ctx.n_phases):
+        if a == ell:
+            continue
+        grad_a = _face_grad(phi_src[a], dim, idx, k, sign, dx)
+        norm_a = float(np.sqrt(grad_a @ grad_a))
+        n_a = grad_a / norm_a if norm_a > 1e-12 else np.zeros(dim)
+        amp = np.sqrt(phi_f[a] * phi_f[ell]) * phi_f[ell] / sq_sum
+        c_a = ctx.c_eq[a] + ctx.c_slope[a] * dt_e + ctx.inv_curv[a] @ mu_f
+        jat += (
+            pref * amp * dphidt_f[a] * float(n_a @ n_l) * n_a[k] * (c_l - c_a)
+        )
+    return flux - jat
+
+
+@register("mu", "reference")
+def mu_step(ctx: KernelContext, mu_src, phi_src, phi_dst, t_old, t_new):
+    """Cell-wise transcription of Eqs. (3)-(4)."""
+    p = ctx.params
+    dim, dt = p.dim, p.dt
+    shape = tuple(s - 2 for s in mu_src.shape[1:])
+    out = np.empty((ctx.n_solutes,) + shape)
+    for idx in np.ndindex(*shape):
+        iz = idx[-1] + 1
+        told = float(t_old[iz])
+        tnew = float(t_new[iz])
+        phi_c = _cell(phi_src, dim, idx)
+        phid_c = _cell(phi_dst, dim, idx)
+        mu_c = _cell(mu_src, dim, idx)
+        h_old = _moelans_h(phi_c)
+        h_new = _moelans_h(phid_c)
+
+        dt_e = told - ctx.t_eut
+        src = np.zeros(ctx.n_solutes)
+        for a in range(ctx.n_phases):
+            c_a = ctx.c_eq[a] + ctx.c_slope[a] * dt_e + ctx.inv_curv[a] @ mu_c
+            src -= (h_new[a] - h_old[a]) * c_a / dt
+        dcdT = np.zeros(ctx.n_solutes)
+        for a in range(ctx.n_phases):
+            dcdT += h_new[a] * ctx.c_slope[a]
+        src -= dcdT * ((tnew - told) / dt)
+
+        div = np.zeros(ctx.n_solutes)
+        for k in range(dim):
+            for sign in (+1, -1):
+                if k == dim - 1:
+                    tf = 0.5 * (told + float(t_old[iz + sign]))
+                else:
+                    tf = told
+                f = _face_flux(
+                    ctx, mu_src, phi_src, phi_dst, tf, dim, idx, k, sign
+                )
+                div += sign * f / p.dx
+
+        chi = np.zeros((ctx.n_solutes, ctx.n_solutes))
+        for a in range(ctx.n_phases):
+            chi += h_new[a] * ctx.inv_curv[a]
+        dmu = dt * np.linalg.solve(chi, src + div)
+        out[(slice(None),) + idx] = mu_c + dmu
+    return out

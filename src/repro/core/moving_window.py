@@ -1,0 +1,70 @@
+"""Moving-window technique for directional solidification (Sec. 3.3).
+
+The evolution in the solid is orders of magnitude slower than in the melt,
+so the effective domain in the growth direction can be kept small: when
+the solidification front climbs past a target height, the whole window is
+shifted down — solidified slices drop out at the bottom, fresh melt enters
+at the top, and the temperature frame offset advances so the frozen
+gradient stays consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MovingWindow", "shift_along_growth_axis"]
+
+
+def shift_along_growth_axis(
+    arr: np.ndarray, shift: int, fill_values: np.ndarray
+) -> None:
+    """Shift *arr* down by *shift* cells along the last axis, in place.
+
+    *fill_values* (shape ``(C,)`` or scalar) fills the vacated top slices.
+    Operates on ghosted or interior arrays alike — the caller re-applies
+    boundary handling afterwards.
+    """
+    if shift <= 0:
+        return
+    if shift >= arr.shape[-1]:
+        raise ValueError(f"shift {shift} exceeds axis extent {arr.shape[-1]}")
+    arr[..., :-shift] = arr[..., shift:]
+    fv = np.asarray(fill_values, dtype=arr.dtype)
+    if fv.ndim == 1:
+        fv = fv.reshape((-1,) + (1,) * (arr.ndim - 1))
+    arr[..., -shift:] = fv
+
+
+@dataclass
+class MovingWindow:
+    """Policy + state of the moving window.
+
+    Parameters
+    ----------
+    target_fraction:
+        Desired front position as a fraction of the window height; once
+        the measured front exceeds it the window shifts down.
+    check_every:
+        Front detection runs only every so many steps (it costs a
+        reduction over the field).
+    enabled:
+        Convenience switch so callers can keep one code path.
+    """
+
+    target_fraction: float = 0.5
+    check_every: int = 10
+    enabled: bool = True
+    total_shift: int = field(default=0, init=False)
+
+    def required_shift(self, front_z: float, nz: int) -> int:
+        """Cells to shift so the front returns to the target height."""
+        if not self.enabled or front_z < 0:
+            return 0
+        target = self.target_fraction * nz
+        return max(int(np.floor(front_z - target)), 0)
+
+    def record(self, shift: int) -> None:
+        """Accumulate the total window travel (for temperature offsets)."""
+        self.total_shift += shift

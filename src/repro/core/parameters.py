@@ -1,0 +1,161 @@
+"""Numerical and interfacial parameters of the phase-field model.
+
+Bundles everything of Eqs. (1)-(4) that is *not* thermodynamic data:
+interface width ``eps``, surface-energy matrix ``gamma_ab``, higher-order
+obstacle coefficient, relaxation constants ``tau_a``, grid spacing, time
+step, spatial dimension, and feature switches (anti-trapping on/off,
+temperature scaling of the interfacial terms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.thermo.system import TernaryEutecticSystem
+
+
+@dataclass(frozen=True)
+class PhaseFieldParameters:
+    """Parameter bundle for the grand-potential phase-field model.
+
+    Parameters
+    ----------
+    n_phases:
+        Number of order parameters ``N``.
+    dim:
+        Spatial dimension (2 or 3); the solidification direction is the
+        *last* axis.
+    dx, dt:
+        Grid spacing and explicit-Euler time step.
+    eps:
+        Interface width parameter ``epsilon`` (in units of ``dx``;
+        typical value ``4 * dx``).
+    gamma:
+        Symmetric ``(N, N)`` surface-energy matrix ``gamma_ab`` (diagonal
+        ignored).  The interfacial terms of Eq. (2) are multiplied by the
+        local temperature, so physically sensible values are of order
+        ``1 / T_E``.
+    gamma_triple:
+        Coefficient of the third-order obstacle term suppressing spurious
+        third phases in two-phase interfaces.
+    tau:
+        Relaxation constants ``tau_a`` per phase, shape ``(N,)``.
+    anti_trapping:
+        Whether the anti-trapping current (Eq. 4) is evaluated.
+    interface_tol:
+        Threshold distinguishing bulk from diffuse-interface cells when
+        building region masks (the "shortcut" optimization).
+    """
+
+    n_phases: int
+    dim: int
+    dx: float
+    dt: float
+    eps: float
+    gamma: np.ndarray
+    gamma_triple: float
+    tau: np.ndarray
+    anti_trapping: bool = True
+    interface_tol: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.dim not in (2, 3):
+            raise ValueError(f"dim must be 2 or 3, got {self.dim}")
+        g = np.asarray(self.gamma, dtype=float)
+        if g.shape != (self.n_phases, self.n_phases):
+            raise ValueError(
+                f"gamma must be ({self.n_phases},{self.n_phases}), got {g.shape}"
+            )
+        if not np.allclose(g, g.T):
+            raise ValueError("gamma must be symmetric")
+        t = np.asarray(self.tau, dtype=float)
+        if t.shape != (self.n_phases,):
+            raise ValueError(f"tau must have shape ({self.n_phases},), got {t.shape}")
+        if np.any(t <= 0):
+            raise ValueError("tau must be positive")
+        for name in ("dx", "dt", "eps"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        object.__setattr__(self, "gamma", g)
+        object.__setattr__(self, "tau", t)
+
+    def with_(self, **kwargs) -> "PhaseFieldParameters":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    @classmethod
+    def for_system(
+        cls,
+        system: TernaryEutecticSystem,
+        *,
+        dim: int = 3,
+        dx: float = 1.0,
+        eps: float | None = None,
+        gamma_scale: float = 1.0,
+        tau_scale: float = 1.0,
+        dt_safety: float = 0.2,
+        anti_trapping: bool = True,
+    ) -> "PhaseFieldParameters":
+        """Build numerically consistent defaults for an alloy system.
+
+        Surface energies are chosen so that ``T * gamma`` is O(1) at the
+        eutectic temperature; the time step is the stability estimate of
+        :meth:`stable_dt` scaled by *dt_safety*.
+        """
+        n = system.n_phases
+        eps = 4.0 * dx if eps is None else eps
+        gamma_val = gamma_scale / system.t_eutectic
+        gamma = np.full((n, n), gamma_val)
+        np.fill_diagonal(gamma, 0.0)
+        tau = np.full(n, tau_scale)
+        params = cls(
+            n_phases=n,
+            dim=dim,
+            dx=dx,
+            dt=1.0,  # placeholder; fixed right below
+            eps=eps,
+            gamma=gamma,
+            gamma_triple=10.0 * gamma_val,
+            tau=tau,
+            anti_trapping=anti_trapping,
+        )
+        dt = dt_safety * params.stable_dt(system)
+        return params.with_(dt=dt)
+
+    def stable_dt(self, system: TernaryEutecticSystem, temperature: float | None = None) -> float:
+        """Explicit-Euler stability estimate (not a guarantee).
+
+        Considers three rates: the interfacial "diffusion" of the phase
+        field, the obstacle-potential reaction rate, and chemical diffusion
+        ``chi^{-1} M`` which is bounded by the largest phase diffusivity.
+        """
+        t_ref = system.t_eutectic if temperature is None else float(temperature)
+        g_max = float(np.max(self.gamma))
+        tau_min = float(np.min(self.tau))
+        # phase-field diffusion: d(phi)/dt ~ (T eps / (tau eps)) gamma lap(phi)
+        rate_grad = 2.0 * self.dim * t_ref * g_max / (tau_min * self.dx**2)
+        # obstacle reaction: (T 16 gamma / (pi^2 eps)) / (tau eps)
+        rate_pot = 16.0 * t_ref * g_max / (np.pi**2 * self.eps**2 * tau_min)
+        # solute diffusion: chi^{-1} M has spectrum bounded by max D_a
+        d_max = float(np.max(system.diffusivities))
+        rate_diff = 2.0 * self.dim * d_max / self.dx**2
+        return 1.0 / max(rate_grad + rate_pot, rate_diff)
+
+    @property
+    def pairs(self) -> tuple[tuple[int, int], ...]:
+        """All unordered phase pairs ``(a, b)`` with ``a < b``."""
+        n = self.n_phases
+        return tuple((a, b) for a in range(n) for b in range(a + 1, n))
+
+    @property
+    def triples(self) -> tuple[tuple[int, int, int], ...]:
+        """All unordered phase triples ``(a, b, c)`` with ``a < b < c``."""
+        n = self.n_phases
+        return tuple(
+            (a, b, c)
+            for a in range(n)
+            for b in range(a + 1, n)
+            for c in range(b + 1, n)
+        )

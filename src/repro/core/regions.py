@@ -1,0 +1,80 @@
+"""Region classification of the simulation domain (Sec. 2 of the paper).
+
+The model equations simplify in different parts of the domain, which is
+what the "shortcut" optimizations exploit:
+
+* **bulk** ``B_a``: cells where a single phase has value 1 — the phase
+  field does not evolve and the anti-trapping current vanishes;
+* **diffuse interface** ``I_Omega``: everything that is not bulk — the only
+  place where the interfacial terms and driving force act;
+* **solidification front** ``F_Omega``: interface cells containing liquid —
+  the only place where the anti-trapping current is nonzero;
+* **liquid** ``L_Omega`` / **solid** ``S_Omega`` bulk regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RegionMasks:
+    """Boolean masks over (interior) cells, all of the same spatial shape."""
+
+    interface: np.ndarray
+    front: np.ndarray
+    liquid: np.ndarray
+    solid: np.ndarray
+
+    @property
+    def bulk(self) -> np.ndarray:
+        """Cells belonging to any single-phase bulk region."""
+        return ~self.interface
+
+    def counts(self) -> dict[str, int]:
+        """Cell counts per region (diagnostics / load metrics)."""
+        return {
+            "interface": int(self.interface.sum()),
+            "front": int(self.front.sum()),
+            "liquid": int(self.liquid.sum()),
+            "solid": int(self.solid.sum()),
+        }
+
+
+def classify(phi: np.ndarray, liquid_index: int, tol: float = 1e-9) -> RegionMasks:
+    """Build region masks from an order-parameter field.
+
+    *phi* has shape ``(N,) + S`` (no ghost layers expected — pass the
+    interior view).  A cell is *bulk* when its largest order parameter
+    exceeds ``1 - tol``; the front is the part of the interface where the
+    liquid fraction exceeds *tol*.
+    """
+    phi = np.asarray(phi)
+    phi_max = phi.max(axis=0)
+    interface = phi_max < 1.0 - tol
+    phi_l = phi[liquid_index]
+    front = interface & (phi_l > tol)
+    liquid = ~interface & (phi_l >= 1.0 - tol)
+    solid = ~interface & ~liquid
+    return RegionMasks(interface=interface, front=front, liquid=liquid, solid=solid)
+
+
+def front_position(phi: np.ndarray, liquid_index: int, threshold: float = 0.5) -> float:
+    """Mean ``z`` index (last axis) of the solid-liquid front.
+
+    Defined as the highest slice per column where the liquid fraction is
+    below *threshold*; averaged over the cross-section.  Returns ``-1.0``
+    when the whole domain is liquid.
+    """
+    phi_l = np.asarray(phi)[liquid_index]
+    solidish = phi_l < threshold
+    nz = phi_l.shape[-1]
+    idx = np.arange(nz)
+    # highest solid-ish cell per column; -1 where column is all liquid
+    has = solidish.any(axis=-1)
+    highest = np.where(has, nz - 1 - np.argmax(solidish[..., ::-1], axis=-1), -1)
+    if not np.any(has):
+        return -1.0
+    return float(highest[has].mean())

@@ -1,0 +1,147 @@
+"""Benchmark/test scenario blocks (Sec. 5.1 of the paper).
+
+The kernel performance depends on the composition of the simulation
+domain, so the paper benchmarks three representative block types:
+
+* ``solid``     — fully solidified material (lower third of the domain),
+* ``interface`` — the solidification front (middle third),
+* ``liquid``    — undercooled melt (upper third).
+
+This module constructs ghosted field blocks of those compositions: phi
+with a sine-shaped diffuse front and lamellar solid structure, mu at the
+eutectic equilibrium, and the frozen-temperature slice profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.parameters import PhaseFieldParameters
+from repro.core.simplex import project_simplex_field
+from repro.thermo.system import TernaryEutecticSystem
+
+__all__ = ["SCENARIOS", "make_scenario", "fill_ghosts_periodic"]
+
+#: Scenario names in the order the paper's figures list them.
+SCENARIOS = ("interface", "liquid", "solid")
+
+
+def fill_ghosts_periodic(field: np.ndarray, dim: int, g: int = 1) -> np.ndarray:
+    """Fill all ghost layers periodically, axis by axis.
+
+    Sequential per-axis filling propagates edge and corner ghosts too, so
+    the D3C19 accesses of the mu sweep see consistent values — the same
+    trick the axis-sequential ghost-layer exchange of the distributed
+    runtime uses.
+    """
+    for k in range(dim):
+        ax = field.ndim - dim + k
+        src_hi = [slice(None)] * field.ndim
+        dst_lo = [slice(None)] * field.ndim
+        src_lo = [slice(None)] * field.ndim
+        dst_hi = [slice(None)] * field.ndim
+        src_hi[ax] = slice(-2 * g, -g)
+        dst_lo[ax] = slice(0, g)
+        src_lo[ax] = slice(g, 2 * g)
+        dst_hi[ax] = slice(-g, None)
+        field[tuple(dst_lo)] = field[tuple(src_hi)]
+        field[tuple(dst_hi)] = field[tuple(src_lo)]
+    return field
+
+
+def _lamella_pattern(system: TernaryEutecticSystem, shape: tuple[int, ...],
+                     lamella_width: int, rng: np.random.Generator) -> np.ndarray:
+    """Solid phase index per cell: lamellae stacked along the first axis.
+
+    The repeating unit cycles through the solid phases with widths
+    proportional to the lever-rule fractions.
+    """
+    solids = list(system.phase_set.solid_indices)
+    frac = system.lever_rule_fractions()
+    widths = np.maximum(
+        np.round([frac[s] * lamella_width * len(solids) for s in solids]), 1
+    ).astype(int)
+    period = int(widths.sum())
+    x = np.arange(shape[0]) % period
+    lookup = np.empty(period, dtype=int)
+    pos = 0
+    for s, w in zip(solids, widths):
+        lookup[pos : pos + w] = s
+        pos += w
+    idx = lookup[x]
+    out = np.empty(shape, dtype=int)
+    out[...] = idx.reshape((-1,) + (1,) * (len(shape) - 1))
+    return out
+
+
+def make_scenario(
+    name: str,
+    shape: tuple[int, ...],
+    system: TernaryEutecticSystem | None = None,
+    params: PhaseFieldParameters | None = None,
+    *,
+    lamella_width: int = 8,
+    undercooling: float = 2.0,
+    seed: int = 0,
+):
+    """Build ghosted ``(phi, mu, t_ghost)`` arrays for a benchmark block.
+
+    *shape* is the interior spatial shape; the growth direction is the
+    last axis.  Returns ``(phi, mu, t_ghost, system, params)`` so callers
+    that passed ``None`` get the constructed defaults back.
+    """
+    if name not in SCENARIOS:
+        raise ValueError(f"unknown scenario {name!r}; have {SCENARIOS}")
+    system = system if system is not None else TernaryEutecticSystem()
+    dim = len(shape)
+    if params is None:
+        params = PhaseFieldParameters.for_system(system, dim=dim)
+    elif params.dim != dim:
+        raise ValueError(f"params.dim={params.dim} but shape is {dim}-dimensional")
+    rng = np.random.default_rng(seed)
+    n = system.n_phases
+    ell = system.liquid_index
+    gshape = tuple(s + 2 for s in shape)
+    nz = shape[-1]
+
+    phi = np.zeros((n,) + gshape)
+    mu = np.zeros((system.n_solutes,) + gshape)
+
+    zc = (np.arange(nz, dtype=float) + 0.5)
+    if name == "liquid":
+        liq_frac = np.ones(nz)
+    elif name == "solid":
+        liq_frac = np.zeros(nz)
+    else:
+        # sine-shaped diffuse front across ~eps cells in the middle
+        z0 = 0.5 * nz
+        w = params.eps / params.dx
+        arg = np.clip((zc - z0) / w, -0.5, 0.5)
+        liq_frac = 0.5 * (1.0 + np.sin(np.pi * arg))
+
+    lam = _lamella_pattern(system, shape, lamella_width, rng)
+    interior = tuple([slice(1, -1)] * dim)
+    lf = liq_frac.reshape((1,) * (dim - 1) + (nz,))
+    phi_int = np.zeros((n,) + shape)
+    phi_int[ell] = lf
+    for s in system.phase_set.solid_indices:
+        phi_int[s] = (1.0 - lf) * (lam == s)
+    project_simplex_field(phi_int, out=phi_int)
+    phi[(slice(None),) + interior] = phi_int
+
+    # mu: equilibrium (0) plus a small smooth perturbation in the liquid
+    pert = 0.01 * np.sin(2 * np.pi * zc / nz)
+    mu_int = np.zeros((system.n_solutes,) + shape)
+    mu_int[...] = pert.reshape((1,) * dim + (nz,))[0] * lf
+    mu[(slice(None),) + interior] = mu_int
+
+    fill_ghosts_periodic(phi, dim)
+    fill_ghosts_periodic(mu, dim)
+
+    # frozen temperature: front sits `undercooling` below T_E, gradient
+    # along z; ghost slices included
+    zg = np.arange(-1, nz + 1, dtype=float) + 0.5
+    gradient = 2.0 * undercooling / max(nz, 1)
+    t_ghost = system.t_eutectic - undercooling + gradient * (zg - 0.5 * nz)
+
+    return phi, mu, t_ghost, system, params

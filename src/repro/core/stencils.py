@@ -1,0 +1,211 @@
+"""Finite-difference stencil primitives on ghosted regular grids.
+
+All solver fields are stored with one ghost layer per spatial axis
+(sufficient for the D3C7 and D3C19 stencils of the paper — the 19-point
+access pattern of the anti-trapping divergence arises from tangential
+gradients evaluated at cell faces, which these primitives express as
+``face average of centered gradients``).
+
+Conventions
+-----------
+* Arrays may carry any number of *leading* component axes (phase index,
+  solute index, vector component); the trailing ``dim`` axes are spatial.
+* ``g`` is the ghost width (default 1).  "Interior" means the region with
+  all ghost layers stripped.
+* Face arrays along spatial axis ``k`` have extent ``n_k + 1`` along that
+  axis (every face between consecutive cells, including the two faces
+  adjacent to the ghost cells) and interior extent along all other axes.
+  :func:`div_faces` turns per-axis face fluxes into an interior-shaped
+  divergence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "interior",
+    "interior_slices",
+    "shifted",
+    "grad",
+    "laplacian",
+    "face_diff",
+    "face_avg",
+    "face_tangential_grad",
+    "face_grad",
+    "div_faces",
+]
+
+
+def _full(a_ndim: int) -> list[slice]:
+    return [slice(None)] * a_ndim
+
+
+def interior_slices(a_ndim: int, dim: int, g: int = 1) -> tuple[slice, ...]:
+    """Slice tuple selecting the interior of the trailing *dim* axes."""
+    sl = _full(a_ndim)
+    for k in range(dim):
+        sl[a_ndim - dim + k] = slice(g, -g)
+    return tuple(sl)
+
+
+def interior(a: np.ndarray, dim: int, g: int = 1) -> np.ndarray:
+    """View of *a* with all ghost layers stripped from the spatial axes."""
+    return a[interior_slices(a.ndim, dim, g)]
+
+
+def shifted(a: np.ndarray, dim: int, k: int, s: int, g: int = 1) -> np.ndarray:
+    """Interior view shifted by *s* cells along spatial axis *k*.
+
+    ``shifted(a, dim, k, +1)`` is "the +k neighbour of every interior
+    cell"; shifts up to the ghost width are valid.
+    """
+    if abs(s) > g:
+        raise ValueError(f"shift {s} exceeds ghost width {g}")
+    sl = list(interior_slices(a.ndim, dim, g))
+    ax = a.ndim - dim + k
+    stop = -g + s
+    sl[ax] = slice(g + s, stop if stop != 0 else None)
+    return a[tuple(sl)]
+
+
+def _axis(a: np.ndarray, dim: int, k: int) -> int:
+    if not 0 <= k < dim:
+        raise ValueError(f"spatial axis {k} out of range for dim={dim}")
+    return a.ndim - dim + k
+
+
+def grad(a: np.ndarray, dim: int, dx: float, g: int = 1) -> np.ndarray:
+    """Centered gradient at interior cells.
+
+    Returns an array of shape ``(dim,) + lead + interior_spatial`` where
+    ``lead`` are the leading component axes of *a*.
+    """
+    comps = []
+    for k in range(dim):
+        ax = _axis(a, dim, k)
+        lo = list(interior_slices(a.ndim, dim, g))
+        hi = list(interior_slices(a.ndim, dim, g))
+        lo[ax] = slice(g - 1, -g - 1)
+        hi[ax] = slice(g + 1, None if g == 1 else -(g - 1))
+        comps.append((a[tuple(hi)] - a[tuple(lo)]) / (2.0 * dx))
+    return np.stack(comps)
+
+
+def laplacian(a: np.ndarray, dim: int, dx: float, g: int = 1) -> np.ndarray:
+    """Standard (2*dim+1)-point Laplacian at interior cells (D3C7 / D2C5)."""
+    centre = interior(a, dim, g)
+    out = (-2.0 * dim) * centre
+    for k in range(dim):
+        ax = _axis(a, dim, k)
+        for shift in (-1, 1):
+            sl = list(interior_slices(a.ndim, dim, g))
+            sl[ax] = slice(g + shift, -g + shift if -g + shift != 0 else None)
+            out = out + a[tuple(sl)]
+    return out / (dx * dx)
+
+
+def face_diff(a: np.ndarray, dim: int, k: int, dx: float, g: int = 1) -> np.ndarray:
+    """Normal derivative at the faces along spatial axis *k*.
+
+    ``(a[i+1] - a[i]) / dx`` for every pair of adjacent cells along *k*
+    (including ghost-interior faces); other spatial axes interior.
+    """
+    ax = _axis(a, dim, k)
+    lo = _full(a.ndim)
+    hi = _full(a.ndim)
+    lo[ax] = slice(g - 1, -g)
+    hi[ax] = slice(g, None if g == 1 else -(g - 1))
+    for j in range(dim):
+        if j != k:
+            axj = _axis(a, dim, j)
+            lo[axj] = slice(g, -g)
+            hi[axj] = slice(g, -g)
+    return (a[tuple(hi)] - a[tuple(lo)]) / dx
+
+
+def face_avg(a: np.ndarray, dim: int, k: int, g: int = 1) -> np.ndarray:
+    """Arithmetic mean at the faces along spatial axis *k* (same layout
+    as :func:`face_diff`)."""
+    ax = _axis(a, dim, k)
+    lo = _full(a.ndim)
+    hi = _full(a.ndim)
+    lo[ax] = slice(g - 1, -g)
+    hi[ax] = slice(g, None if g == 1 else -(g - 1))
+    for j in range(dim):
+        if j != k:
+            axj = _axis(a, dim, j)
+            lo[axj] = slice(g, -g)
+            hi[axj] = slice(g, -g)
+    return 0.5 * (a[tuple(hi)] + a[tuple(lo)])
+
+
+def face_tangential_grad(
+    a: np.ndarray, dim: int, k: int, t: int, dx: float, g: int = 1
+) -> np.ndarray:
+    """Tangential derivative ``d a / d x_t`` at the faces along axis *k*.
+
+    Computed as the face average (along *k*) of centered differences along
+    the tangential axis *t* — this is what widens the mu-update stencil to
+    D3C19 in the paper (edge-diagonal neighbours are touched).
+    Requires ``t != k``.
+    """
+    if t == k:
+        raise ValueError("tangential axis must differ from the face axis")
+    ax_k = _axis(a, dim, k)
+    ax_t = _axis(a, dim, t)
+    lo = _full(a.ndim)
+    hi = _full(a.ndim)
+    # centered difference along t, full extent along k, interior elsewhere
+    lo[ax_t] = slice(g - 1, -g - 1)
+    hi[ax_t] = slice(g + 1, None if g == 1 else -(g - 1))
+    for j in range(dim):
+        if j not in (k, t):
+            axj = _axis(a, dim, j)
+            lo[axj] = slice(g, -g)
+            hi[axj] = slice(g, -g)
+    cgrad = (a[tuple(hi)] - a[tuple(lo)]) / (2.0 * dx)
+    # average onto the faces along k (axis position unchanged: slicing
+    # preserved axis order)
+    lo2 = _full(cgrad.ndim)
+    hi2 = _full(cgrad.ndim)
+    lo2[ax_k] = slice(0, -1)
+    hi2[ax_k] = slice(1, None)
+    return 0.5 * (cgrad[tuple(hi2)] + cgrad[tuple(lo2)])
+
+
+def face_grad(a: np.ndarray, dim: int, k: int, dx: float, g: int = 1) -> np.ndarray:
+    """Full gradient vector at the faces along axis *k*.
+
+    Component *k* is the exact normal difference, tangential components are
+    face-averaged centered differences.  Returns shape
+    ``(dim,) + lead + face_spatial``.
+    """
+    comps = []
+    for t in range(dim):
+        if t == k:
+            comps.append(face_diff(a, dim, k, dx, g))
+        else:
+            comps.append(face_tangential_grad(a, dim, k, t, dx, g))
+    return np.stack(comps)
+
+
+def div_faces(fluxes, dim: int, dx: float) -> np.ndarray:
+    """Divergence at interior cells from per-axis face-flux arrays.
+
+    *fluxes* is a sequence of ``dim`` arrays in the :func:`face_diff`
+    layout (axis *k* has extent ``n_k + 1``).  The result is
+    interior-shaped: ``div = sum_k (F_k[i] - F_k[i-1]) / dx``.
+    """
+    if len(fluxes) != dim:
+        raise ValueError(f"expected {dim} flux arrays, got {len(fluxes)}")
+    out = None
+    for k, f in enumerate(fluxes):
+        ax = f.ndim - dim + k
+        hi = _full(f.ndim)
+        lo = _full(f.ndim)
+        hi[ax] = slice(1, None)
+        lo[ax] = slice(0, -1)
+        term = (f[tuple(hi)] - f[tuple(lo)]) / dx
+        out = term if out is None else out + term
+    return out

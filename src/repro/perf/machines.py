@@ -1,0 +1,117 @@
+"""Machine descriptions of the three HPC systems (Sec. 4 of the paper).
+
+The weak-scaling and communication models are parametrized by the
+published characteristics of SuperMUC (LRZ), Hornet (Cray XC40, HLRS) and
+JUQUEEN (Blue Gene/Q, JSC).  ``kernel_efficiency`` is the fraction of peak
+the paper's kernels attain on each architecture (~25 % on the out-of-order
+Intel cores per the roofline section; the in-order BG/Q A2 cores reach far
+less per core, which is why the paper's Fig. 9 right panel sits at
+~0.2 MLUP/s per core while employing 4-way SMT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineSpec", "SUPERMUC", "HORNET", "JUQUEEN", "MACHINES"]
+
+GiB = 1024.0**3
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of one cluster.
+
+    Attributes (units)
+    ------------------
+    clock_hz, flops_per_cycle:
+        Per-core peak = product (8 on SNB/QPX via AVX mul+add or FMA-ish
+        4-wide, 16 on Haswell via two 4-wide FMAs).
+    cores_per_node, total_cores, smt:
+        Node geometry; *smt* is the hardware-thread multiplier actually
+        used (4 on JUQUEEN).
+    stream_bw_node:
+        Attainable node memory bandwidth (STREAM), bytes/s.
+    net_latency, net_bandwidth:
+        Per-message latency (s) and per-link bandwidth (bytes/s).
+    topology:
+        ``fat-tree-pruned`` / ``dragonfly`` / ``torus5d`` — selects the
+        congestion model of :mod:`repro.perf.netmodel`.
+    island_cores:
+        Cores per fully provisioned network island (SuperMUC: 512 nodes x
+        16 cores with a 4:1 pruned tree above).
+    kernel_efficiency:
+        Fraction of per-core peak the optimized kernels attain.
+    """
+
+    name: str
+    clock_hz: float
+    flops_per_cycle: int
+    cores_per_node: int
+    total_cores: int
+    smt: int
+    stream_bw_node: float
+    net_latency: float
+    net_bandwidth: float
+    topology: str
+    island_cores: int
+    kernel_efficiency: float
+
+    @property
+    def peak_flops_core(self) -> float:
+        """Per-core peak FLOP rate."""
+        return self.clock_hz * self.flops_per_cycle
+
+    @property
+    def peak_flops_node(self) -> float:
+        """Per-node peak FLOP rate."""
+        return self.peak_flops_core * self.cores_per_node
+
+
+SUPERMUC = MachineSpec(
+    name="SuperMUC",
+    clock_hz=2.7e9,
+    flops_per_cycle=8,          # AVX: 4-wide add + 4-wide mul
+    cores_per_node=16,          # 2 sockets x 8 cores (Xeon E5-2680)
+    total_cores=147_456,
+    smt=1,
+    stream_bw_node=80.0 * GiB,  # measured with STREAM in the paper
+    net_latency=2.0e-6,
+    net_bandwidth=5.0e9,        # FDR10 InfiniBand per node
+    topology="fat-tree-pruned",
+    island_cores=512 * 16,
+    kernel_efficiency=0.25,     # "approximately 25% of the peak FLOP rate"
+)
+
+HORNET = MachineSpec(
+    name="Hornet",
+    clock_hz=2.5e9,
+    flops_per_cycle=16,         # AVX2: two 4-wide FMAs (E5-2680v3)
+    cores_per_node=24,
+    total_cores=94_656,
+    smt=1,
+    stream_bw_node=110.0 * GiB,
+    net_latency=1.5e-6,
+    net_bandwidth=8.0e9,        # Aries per node
+    topology="dragonfly",
+    island_cores=384 * 24,      # electrical group
+    kernel_efficiency=0.14,     # FMA peak doubles but add/mul imbalance
+                                # keeps the attained rate near SuperMUC's
+)
+
+JUQUEEN = MachineSpec(
+    name="JUQUEEN",
+    clock_hz=1.6e9,
+    flops_per_cycle=8,          # QPX: 4-wide FMA
+    cores_per_node=16,
+    total_cores=458_752,
+    smt=4,                      # 4-way SMT used to fill the in-order pipes
+    stream_bw_node=28.0 * GiB,
+    net_latency=0.7e-6,         # "latencies in the range of a few hundred ns"
+    net_bandwidth=2.0e9,        # per torus link share
+    topology="torus5d",
+    island_cores=512 * 16,      # midplane
+    kernel_efficiency=0.03,     # in-order A2 core: far below Intel
+)
+
+MACHINES = {m.name: m for m in (SUPERMUC, HORNET, JUQUEEN)}

@@ -1,0 +1,41 @@
+"""Performance metrics: MLUP/s and kernel timing helpers.
+
+"The presented performance results are measured in MLUP/s, which stands
+for million lattice cell updates per second."
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["mlups", "measure_kernel_rate"]
+
+
+def mlups(cells: int, seconds: float) -> float:
+    """Million lattice-cell updates per second."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return cells / seconds / 1.0e6
+
+
+def measure_kernel_rate(
+    fn,
+    cells: int,
+    *,
+    min_time: float = 0.25,
+    max_repeats: int = 50,
+) -> float:
+    """Measure the MLUP/s of a zero-argument kernel invocation.
+
+    One warm-up call (also used to calibrate the repeat count), then the
+    kernel is repeated until *min_time* of wall time accumulates.
+    """
+    t0 = time.perf_counter()
+    fn()
+    first = time.perf_counter() - t0
+    repeats = max(1, min(max_repeats, int(min_time / max(first, 1e-9))))
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    elapsed = (time.perf_counter() - t0) / repeats
+    return mlups(cells, elapsed)

@@ -1,0 +1,86 @@
+"""Roofline model (Williams et al.) — Sec. 5.1.1 of the paper.
+
+The paper's argument: one mu-cell update needs 1384 FLOPs and at most
+680 bytes from main memory (half the stencil data is served from cache
+when an x-y slice of all fields fits in L2), so the arithmetic intensity
+is >= 2 FLOP/B; the memory roof at 80 GiB/s would allow 126.3 MLUP/s per
+node, far above the measured 4.2 MLUP/s x 16 cores — hence the kernel is
+*compute bound* and the in-core analysis (IACA) applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.machines import MachineSpec
+
+__all__ = ["RooflineResult", "roofline", "bytes_per_cell"]
+
+
+@dataclass(frozen=True)
+class RooflineResult:
+    """Outcome of a roofline evaluation for one kernel on one machine."""
+
+    flops_per_cell: float
+    bytes_per_cell: float
+    arithmetic_intensity: float
+    memory_bound_mlups_node: float
+    compute_bound_mlups_node: float
+    attainable_mlups_node: float
+    memory_bound: bool
+
+    def peak_fraction(self, measured_mlups_core: float, machine: MachineSpec) -> float:
+        """Fraction of single-core peak a measured rate corresponds to."""
+        flops_rate = measured_mlups_core * 1e6 * self.flops_per_cell
+        return flops_rate / machine.peak_flops_core
+
+
+def bytes_per_cell(
+    n_phases: int,
+    n_solutes: int,
+    value_bytes: int = 8,
+    cache_reuse: float = 0.5,
+    time_levels_phi: int = 2,
+) -> float:
+    """Main-memory traffic per mu-cell update under the paper's assumption.
+
+    Streams: read both phi time levels (D3C19 -> 19 cells each), read mu
+    (D3C7 -> 7 cells), write mu.  With an x-y slice of all fields resident
+    in L2, a ``cache_reuse`` fraction of the reads is served from cache.
+    The paper's 680 B figure for N=4, K-1=2 doubles is reproduced by this
+    accounting.
+    """
+    reads = (
+        n_phases * 19 * time_levels_phi  # phi(t) and phi(t+dt)
+        + n_solutes * 7                  # mu(t)
+    )
+    writes = n_solutes
+    return (reads * (1.0 - cache_reuse) + writes) * value_bytes
+
+
+def roofline(
+    machine: MachineSpec,
+    flops_per_cell: float,
+    bytes_per_cell_value: float,
+    efficiency: float | None = None,
+) -> RooflineResult:
+    """Evaluate memory and compute roofs for a kernel on *machine*.
+
+    *efficiency* scales the compute roof to the attainable in-core rate
+    (defaults to the machine's ``kernel_efficiency``).
+    """
+    if flops_per_cell <= 0 or bytes_per_cell_value <= 0:
+        raise ValueError("per-cell costs must be positive")
+    eff = machine.kernel_efficiency if efficiency is None else efficiency
+    ai = flops_per_cell / bytes_per_cell_value
+    mem = machine.stream_bw_node / bytes_per_cell_value / 1e6
+    comp = machine.peak_flops_node * eff / flops_per_cell / 1e6
+    return RooflineResult(
+        flops_per_cell=flops_per_cell,
+        bytes_per_cell=bytes_per_cell_value,
+        arithmetic_intensity=ai,
+        memory_bound_mlups_node=mem,
+        compute_bound_mlups_node=comp,
+        attainable_mlups_node=min(mem, comp),
+        memory_bound=mem < comp,
+    )

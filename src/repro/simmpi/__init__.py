@@ -1,0 +1,25 @@
+"""Simulated MPI: an in-process SPMD runtime with MPI semantics.
+
+The paper runs on up to 1,048,576 MPI processes; this environment has no
+MPI implementation, so the repo ships a small message-passing runtime
+instead (see DESIGN.md, substitution table).  Each simulated rank is a
+Python thread executing the same SPMD function; communication goes through
+per-rank mailboxes with (source, tag) matching, and the collectives are
+built from point-to-point messages using binomial trees — so the
+*algorithms* (ghost exchange, Algorithm 2 overlap, hierarchical mesh
+reduction) run unmodified and are exercised end-to-end.
+
+Main entry points:
+
+* :func:`repro.simmpi.runtime.run_spmd` — launch an SPMD function,
+* :class:`repro.simmpi.comm.Communicator` — send/recv/collectives,
+* :class:`repro.simmpi.cart.CartComm` — cartesian topology helper,
+* :mod:`repro.simmpi.reduce_tree` — the log2(P) pairwise reduction
+  schedule used by the mesh output pipeline.
+"""
+
+from repro.simmpi.comm import Communicator, Request
+from repro.simmpi.runtime import run_spmd
+from repro.simmpi.cart import CartComm
+
+__all__ = ["Communicator", "Request", "run_spmd", "CartComm"]

@@ -1,0 +1,105 @@
+"""Cartesian topology helper (``MPI_Cart_create`` analog).
+
+Maps ranks onto a d-dimensional process grid with optional periodic wrap —
+the layout the ghost-layer exchange of the distributed solver uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simmpi.comm import Communicator
+
+__all__ = ["CartComm", "dims_create"]
+
+
+def dims_create(n: int, dim: int) -> tuple[int, ...]:
+    """Near-cubic factorization of *n* ranks (``MPI_Dims_create`` analog)."""
+    dims = [1] * dim
+    remaining = n
+    f = 2
+    primes = []
+    while f * f <= remaining:
+        while remaining % f == 0:
+            primes.append(f)
+            remaining //= f
+        f += 1
+    if remaining > 1:
+        primes.append(remaining)
+    for p in sorted(primes, reverse=True):
+        dims[int(np.argmin(dims))] *= p
+    return tuple(sorted(dims, reverse=True))
+
+
+class CartComm:
+    """Cartesian view over a :class:`Communicator`.
+
+    Parameters
+    ----------
+    comm:
+        The underlying communicator; every rank must construct the cart
+        with identical *dims* and *periods*.
+    dims:
+        Process-grid extents (product must equal ``comm.size``).
+    periods:
+        Per-axis wrap flags.
+    """
+
+    def __init__(self, comm: Communicator, dims: tuple[int, ...],
+                 periods: tuple[bool, ...]):
+        if int(np.prod(dims)) != comm.size:
+            raise ValueError(
+                f"process grid {dims} does not cover {comm.size} ranks"
+            )
+        if len(dims) != len(periods):
+            raise ValueError("dims/periods length mismatch")
+        self.comm = comm
+        self.dims = tuple(int(d) for d in dims)
+        self.periods = tuple(bool(p) for p in periods)
+
+    @property
+    def rank(self) -> int:
+        return self.comm.rank
+
+    def coords(self, rank: int | None = None) -> tuple[int, ...]:
+        """Grid coordinates of *rank* (default: this rank)."""
+        rank = self.comm.rank if rank is None else rank
+        coords = []
+        for d in reversed(self.dims):
+            coords.append(rank % d)
+            rank //= d
+        return tuple(reversed(coords))
+
+    def rank_of(self, coords: tuple[int, ...]) -> int:
+        """Rank at grid position *coords* (no wrap applied)."""
+        r = 0
+        for c, d in zip(coords, self.dims):
+            if not 0 <= c < d:
+                raise IndexError(f"coords {coords} outside grid {self.dims}")
+            r = r * d + c
+        return r
+
+    def shift(self, axis: int, disp: int = 1) -> tuple[int | None, int | None]:
+        """``(source, dest)`` ranks for a shift along *axis*.
+
+        Mirrors ``MPI_Cart_shift``: *dest* is the rank *disp* steps in the
+        positive direction, *source* the mirror partner; ``None`` marks an
+        edge of a non-periodic axis.
+        """
+        me = list(self.coords())
+
+        def resolve(c: int) -> int | None:
+            d = self.dims[axis]
+            if 0 <= c < d:
+                pass
+            elif self.periods[axis]:
+                c %= d
+            else:
+                return None
+            coords = list(me)
+            coords[axis] = c
+            return self.rank_of(tuple(coords))
+
+        dest = resolve(me[axis] + disp)
+        source = resolve(me[axis] - disp)
+        return source, dest

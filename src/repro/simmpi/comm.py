@@ -1,0 +1,266 @@
+"""Communicator with MPI point-to-point and collective semantics.
+
+Messages are matched by ``(source, tag)`` like MPI; ``ANY_SOURCE`` /
+``ANY_TAG`` wildcards are supported.  NumPy payloads are copied on send so
+the receiver never aliases sender memory (mimicking buffer semantics —
+mutating an array after ``isend`` must not corrupt the message).
+
+Collectives are implemented on top of point-to-point using binomial trees
+(``log2 P`` rounds), the same communication structure the paper's
+hierarchical mesh reduction uses.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Communicator", "Request", "CommStats"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: Seconds between deadlock/failure checks while blocked in recv/barrier.
+_POLL = 0.05
+
+
+class RemoteError(RuntimeError):
+    """Raised on ranks blocked in communication when a peer rank failed."""
+
+
+def _copy_payload(obj):
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    return obj
+
+
+@dataclass
+class CommStats:
+    """Per-rank message accounting (drives the Fig. 8 byte-count model)."""
+
+    sends: int = 0
+    recvs: int = 0
+    bytes_sent: int = 0
+
+    def account_send(self, payload) -> None:
+        self.sends += 1
+        if isinstance(payload, np.ndarray):
+            self.bytes_sent += payload.nbytes
+
+
+class _Mailbox:
+    """Incoming-message store of one rank with condition-variable waits."""
+
+    def __init__(self) -> None:
+        self._messages: list[tuple[int, int, object]] = []
+        self._cond = threading.Condition()
+
+    def put(self, source: int, tag: int, payload) -> None:
+        with self._cond:
+            self._messages.append((source, tag, payload))
+            self._cond.notify_all()
+
+    def get(self, source: int, tag: int, failed: threading.Event):
+        with self._cond:
+            while True:
+                for i, (src, tg, payload) in enumerate(self._messages):
+                    if (source in (ANY_SOURCE, src)) and (tag in (ANY_TAG, tg)):
+                        del self._messages[i]
+                        return src, tg, payload
+                if failed.is_set():
+                    raise RemoteError("a peer rank failed while this rank waited")
+                self._cond.wait(timeout=_POLL)
+
+    def probe(self, source: int, tag: int) -> bool:
+        with self._cond:
+            return any(
+                (source in (ANY_SOURCE, src)) and (tag in (ANY_TAG, tg))
+                for src, tg, _ in self._messages
+            )
+
+
+class _World:
+    """Shared state of one SPMD run."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.mailboxes = [_Mailbox() for _ in range(size)]
+        self.barrier = threading.Barrier(size)
+        self.failed = threading.Event()
+        self.stats = [CommStats() for _ in range(size)]
+
+
+@dataclass
+class Request:
+    """Handle for a non-blocking operation."""
+
+    _result: object = None
+    _ready: bool = True
+    _fn: object = field(default=None, repr=False)
+
+    def wait(self):
+        """Complete the operation; returns the received object for irecv."""
+        if not self._ready:
+            self._result = self._fn()
+            self._ready = True
+        return self._result
+
+    def test(self) -> bool:
+        """Non-destructive readiness check."""
+        return self._ready
+
+
+class Communicator:
+    """Rank-local view of the world, mimicking ``mpi4py.MPI.Comm``."""
+
+    def __init__(self, world: _World, rank: int):
+        self._world = world
+        self.rank = rank
+        self.size = world.size
+
+    # -- point to point ----------------------------------------------------
+
+    def send(self, obj, dest: int, tag: int = 0) -> None:
+        """Blocking-semantics send (buffered: completes immediately)."""
+        if not 0 <= dest < self.size:
+            raise ValueError(f"invalid destination rank {dest}")
+        payload = _copy_payload(obj)
+        self._world.stats[self.rank].account_send(payload)
+        self._world.mailboxes[dest].put(self.rank, tag, payload)
+
+    def isend(self, obj, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send (eager: the copy happens at call time)."""
+        self.send(obj, dest, tag)
+        return Request(_result=None, _ready=True)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Blocking receive; returns the payload."""
+        _, _, payload = self._world.mailboxes[self.rank].get(
+            source, tag, self._world.failed
+        )
+        self._world.stats[self.rank].recvs += 1
+        return payload
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Non-blocking receive; completion in :meth:`Request.wait`."""
+        return Request(
+            _ready=False, _fn=lambda: self.recv(source, tag)
+        )
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """True when a matching message is already queued."""
+        return self._world.mailboxes[self.rank].probe(source, tag)
+
+    def sendrecv(self, sendobj, dest: int, source: int, sendtag: int = 0,
+                 recvtag: int = ANY_TAG):
+        """Combined exchange (deadlock-free in this buffered runtime)."""
+        self.send(sendobj, dest, sendtag)
+        return self.recv(source, recvtag)
+
+    # -- collectives (binomial trees over point-to-point) -------------------
+
+    def barrier(self) -> None:
+        """Synchronize all ranks."""
+        while True:
+            try:
+                self._world.barrier.wait(timeout=None)
+                return
+            except threading.BrokenBarrierError:
+                raise RemoteError("barrier broken by a failed peer")
+
+    def bcast(self, obj, root: int = 0):
+        """Binomial-tree broadcast from *root*."""
+        vrank = (self.rank - root) % self.size
+        mask = 1
+        while mask < self.size:
+            if vrank & mask:
+                src = ((vrank - mask) + root) % self.size
+                obj = self.recv(src, tag=_TAG_BCAST)
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask >= 1:
+            if vrank + mask < self.size:
+                dst = ((vrank + mask) + root) % self.size
+                self.send(obj, dst, tag=_TAG_BCAST)
+            mask >>= 1
+        return _copy_payload(obj)
+
+    def gather(self, obj, root: int = 0):
+        """Binomial-tree gather; returns the list at *root*, else ``None``."""
+        vrank = (self.rank - root) % self.size
+        items = {vrank: _copy_payload(obj)}
+        mask = 1
+        while mask < self.size:
+            if vrank & mask:
+                dst = ((vrank ^ mask) + root) % self.size
+                self.send(items, dst, tag=_TAG_GATHER)
+                items = None
+                break
+            partner = vrank | mask
+            if partner < self.size:
+                got = self.recv(((partner) + root) % self.size, tag=_TAG_GATHER)
+                items.update(got)
+            mask <<= 1
+        if vrank == 0:
+            return [items[i] for i in range(self.size)]
+        return None
+
+    def allgather(self, obj):
+        """Gather to rank 0 then broadcast."""
+        res = self.gather(obj, root=0)
+        return self.bcast(res, root=0)
+
+    def scatter(self, objs, root: int = 0):
+        """Scatter a length-``size`` sequence from *root*."""
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError("scatter needs one item per rank at the root")
+            for r in range(self.size):
+                if r != root:
+                    self.send(objs[r], r, tag=_TAG_SCATTER)
+            return _copy_payload(objs[root])
+        return self.recv(root, tag=_TAG_SCATTER)
+
+    def reduce(self, obj, op=None, root: int = 0):
+        """Binomial-tree reduction; *op* defaults to addition."""
+        op = _add if op is None else op
+        vrank = (self.rank - root) % self.size
+        acc = _copy_payload(obj)
+        mask = 1
+        while mask < self.size:
+            if vrank & mask:
+                dst = ((vrank ^ mask) + root) % self.size
+                self.send(acc, dst, tag=_TAG_REDUCE)
+                acc = None
+                break
+            partner = vrank | mask
+            if partner < self.size:
+                got = self.recv((partner + root) % self.size, tag=_TAG_REDUCE)
+                acc = op(acc, got)
+            mask <<= 1
+        return acc if vrank == 0 else None
+
+    def allreduce(self, obj, op=None):
+        """Reduce to rank 0 then broadcast."""
+        res = self.reduce(obj, op=op, root=0)
+        return self.bcast(res, root=0)
+
+    # -- diagnostics ---------------------------------------------------------
+
+    @property
+    def stats(self) -> CommStats:
+        """This rank's message accounting."""
+        return self._world.stats[self.rank]
+
+
+def _add(a, b):
+    return a + b
+
+
+_TAG_BCAST = -101
+_TAG_GATHER = -102
+_TAG_SCATTER = -103
+_TAG_REDUCE = -104

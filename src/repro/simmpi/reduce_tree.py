@@ -1,0 +1,53 @@
+"""Pairwise log2(P) reduction schedule (Sec. 3.2 mesh output pipeline).
+
+The hierarchical mesh coarsening gathers two local meshes on one process,
+stitches and re-coarsens them, and repeats ``log2(P)`` times with half of
+the processes participating in each round.  This module computes that
+schedule as data so both the real simmpi pipeline and the analytic I/O
+model can use it.
+"""
+
+from __future__ import annotations
+
+__all__ = ["reduction_rounds", "run_pairwise_reduction"]
+
+
+def reduction_rounds(n_ranks: int) -> list[list[tuple[int, int]]]:
+    """Rounds of ``(receiver, sender)`` pairs reducing everything to rank 0.
+
+    Round *k* pairs ranks whose bit *k* is set with their partner below;
+    works for non-powers of two (lone ranks simply advance).
+    """
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    rounds: list[list[tuple[int, int]]] = []
+    stride = 1
+    while stride < n_ranks:
+        pairs = []
+        for receiver in range(0, n_ranks, 2 * stride):
+            sender = receiver + stride
+            if sender < n_ranks:
+                pairs.append((receiver, sender))
+        rounds.append(pairs)
+        stride *= 2
+    return rounds
+
+
+def run_pairwise_reduction(comm, value, combine, tag: int = -201):
+    """Execute the pairwise reduction over a live communicator.
+
+    ``combine(a, b)`` merges two partial results (e.g. stitch + coarsen
+    two meshes).  Returns the fully reduced value on rank 0 and ``None``
+    elsewhere.  Exactly ``log2(P)`` rounds with half the ranks active per
+    round, as in the paper.
+    """
+    rank, size = comm.rank, comm.size
+    for pairs in reduction_rounds(size):
+        for receiver, sender in pairs:
+            if rank == sender:
+                comm.send(value, receiver, tag=tag)
+                return None
+            if rank == receiver:
+                other = comm.recv(sender, tag=tag)
+                value = combine(value, other)
+    return value if rank == 0 else None

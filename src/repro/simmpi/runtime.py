@@ -1,0 +1,59 @@
+"""SPMD launcher for the simulated MPI runtime.
+
+:func:`run_spmd` plays the role of ``mpiexec``: it spawns one thread per
+rank, hands each a :class:`Communicator`, runs the same function
+everywhere and collects the per-rank return values.  A failure on any rank
+sets a world-wide flag so peers blocked in communication abort instead of
+deadlocking, and the first exception is re-raised in the caller.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.simmpi.comm import Communicator, RemoteError, _World
+
+__all__ = ["run_spmd"]
+
+
+def run_spmd(n_ranks: int, fn, *args, **kwargs) -> list:
+    """Run ``fn(comm, *args, **kwargs)`` on *n_ranks* simulated ranks.
+
+    Returns the list of per-rank return values (rank order).  Exceptions
+    raised by any rank abort the whole run and are re-raised (peers'
+    secondary :class:`RemoteError` aborts are suppressed).
+    """
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    world = _World(n_ranks)
+    results: list = [None] * n_ranks
+    errors: list = [None] * n_ranks
+
+    def entry(rank: int) -> None:
+        comm = Communicator(world, rank)
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - repropagated below
+            errors[rank] = exc
+            world.failed.set()
+            world.barrier.abort()
+
+    threads = [
+        threading.Thread(target=entry, args=(r,), name=f"simmpi-rank-{r}")
+        for r in range(n_ranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    primary = next(
+        (e for e in errors if e is not None and not isinstance(e, RemoteError)),
+        None,
+    )
+    if primary is not None:
+        raise primary
+    secondary = next((e for e in errors if e is not None), None)
+    if secondary is not None:
+        raise secondary
+    return results

@@ -1,0 +1,31 @@
+"""Thermodynamic substrate: parabolic Gibbs energies and grand potentials.
+
+The paper couples the phase-field evolution to CALPHAD thermodynamics via
+*parabolically fitted* Gibbs energies valid near the ternary eutectic point
+(Choudhury/Kellner/Nestler coupling).  This package implements exactly that
+layer:
+
+* :mod:`repro.thermo.phases` — component/phase bookkeeping,
+* :mod:`repro.thermo.parabolic` — quadratic free energies ``f_alpha(c, T)``,
+  their Legendre transforms (grand potentials ``psi_alpha(mu, T)``),
+  concentrations ``c_alpha(mu, T)`` and susceptibilities,
+* :mod:`repro.thermo.calphad` — an approximate Ag-Al-Cu ternary eutectic
+  dataset calibrated to the published eutectic invariants,
+* :mod:`repro.thermo.system` — the :class:`TernaryEutecticSystem` facade
+  used by the solver.
+"""
+
+from repro.thermo.phases import Component, Phase, PhaseSet
+from repro.thermo.parabolic import ParabolicFreeEnergy
+from repro.thermo.calphad import ag_al_cu_data, CalphadData
+from repro.thermo.system import TernaryEutecticSystem
+
+__all__ = [
+    "Component",
+    "Phase",
+    "PhaseSet",
+    "ParabolicFreeEnergy",
+    "CalphadData",
+    "ag_al_cu_data",
+    "TernaryEutecticSystem",
+]

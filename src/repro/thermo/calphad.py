@@ -1,0 +1,166 @@
+"""Approximate Ag-Al-Cu ternary eutectic dataset.
+
+The paper uses thermodynamic data from the CALPHAD assessments of
+Witusiewicz et al. (J. Alloys Compd. 385/387, 2004/2005), reduced to
+parabolic fits around the ternary eutectic point as described by
+Choudhury/Kellner/Nestler.  The CALPHAD database itself is proprietary
+tooling; what the solver actually consumes are the *fit coefficients*.
+This module ships a documented, approximate coefficient set calibrated to
+the published eutectic invariants:
+
+* ternary eutectic temperature ``T_E ≈ 773.6 K`` (≈ 500.5 °C),
+* eutectic melt composition ≈ Ag 18 at.%, Al 69 at.%, Cu 13 at.%,
+* the three solid phases fcc-(Al), Ag2Al (hcp ζ) and Al2Cu (θ) with
+  compositions near their reported solubility limits, which via the lever
+  rule yield phase fractions of roughly 35 / 27 / 38 % — "similar phase
+  fractions", as the paper notes, which is what makes this system a good
+  pattern-formation study target.
+
+Absolute energy scales are nondimensionalized (energy density unit chosen
+so that curvatures are O(10)); the phase-field driving forces only depend
+on *differences* of grand potentials, so this rescaling changes time/length
+units but not the selected microstructure — the substitution is recorded in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.thermo.parabolic import ParabolicFreeEnergy
+from repro.thermo.phases import Component, Phase, PhaseSet
+
+#: Ternary eutectic temperature of Ag-Al-Cu in Kelvin.
+T_EUTECTIC_AG_AL_CU = 773.6
+
+
+@dataclass(frozen=True)
+class CalphadData:
+    """A bundle of parabolic fits plus bookkeeping for one alloy system.
+
+    Attributes
+    ----------
+    phase_set:
+        Phase/component ordering shared with the solver.
+    free_energies:
+        One :class:`ParabolicFreeEnergy` per phase, in phase order.
+    t_eutectic:
+        The eutectic temperature the fits are centred on.
+    liquid_c_eq:
+        Eutectic melt composition (independent components only).
+    diffusivities:
+        Scalar diffusivity ``D_a`` per phase used to build the mobility
+        ``M(phi, T) = sum_a g_a(phi) D_a A_a^{-1}``.
+    """
+
+    phase_set: PhaseSet
+    free_energies: tuple[ParabolicFreeEnergy, ...]
+    t_eutectic: float
+    liquid_c_eq: np.ndarray
+    diffusivities: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.free_energies) != self.phase_set.n_phases:
+            raise ValueError("one free energy per phase required")
+        if len(self.diffusivities) != self.phase_set.n_phases:
+            raise ValueError("one diffusivity per phase required")
+        k = self.phase_set.n_solutes
+        for fe in self.free_energies:
+            if fe.n_solutes != k:
+                raise ValueError("free-energy dimension mismatch")
+
+    def lever_rule_fractions(self) -> np.ndarray:
+        """Solid phase fractions from conservation of the eutectic melt.
+
+        Solves ``sum_s f_s c_s = c_liquid`` together with ``sum_s f_s = 1``
+        over the solid phases — the compositions a fully solidified
+        eutectic must exhibit.  Returns fractions in phase order with the
+        liquid entry set to zero.
+        """
+        solids = self.phase_set.solid_indices
+        te = self.t_eutectic
+        cols = np.stack(
+            [self.free_energies[s].c_min(te) for s in solids], axis=1
+        )
+        k = self.phase_set.n_solutes
+        a = np.vstack([cols, np.ones((1, len(solids)))])
+        b = np.concatenate([self.liquid_c_eq, [1.0]])
+        frac, *_ = np.linalg.lstsq(a, b, rcond=None)
+        if np.any(frac < -1e-9) or abs(frac.sum() - 1.0) > 1e-9:
+            raise ValueError(
+                f"dataset is not a consistent eutectic: lever fractions {frac}"
+            )
+        out = np.zeros(self.phase_set.n_phases)
+        for f, s in zip(frac, solids):
+            out[s] = max(f, 0.0)
+        return out
+
+
+def ag_al_cu_data(
+    *,
+    latent_scale: float = 1.0,
+    diffusivity_liquid: float = 1.0,
+    diffusivity_solid: float = 1e-4,
+) -> CalphadData:
+    """Build the approximate Ag-Al-Cu dataset.
+
+    Parameters
+    ----------
+    latent_scale:
+        Multiplier on all solid latent-heat slopes; convenient for
+        undercooling sensitivity studies.
+    diffusivity_liquid, diffusivity_solid:
+        Nondimensional diffusivities.  The paper exploits that diffusion in
+        the solid is orders of magnitude slower than in the melt (this is
+        what makes the moving-window technique valid), hence the small
+        solid default.
+    """
+    phase_set = PhaseSet(
+        phases=(
+            Phase("Al"),        # fcc aluminium solid solution
+            Phase("Ag2Al"),     # hcp zeta phase
+            Phase("Al2Cu"),     # theta phase
+            Phase("liquid", is_liquid=True),
+        ),
+        components=(
+            Component("Ag"),
+            Component("Cu"),
+            Component("Al", solvent=True),
+        ),
+    )
+    te = T_EUTECTIC_AG_AL_CU
+
+    def fe(curv, c_eq, c_slope, latent):
+        return ParabolicFreeEnergy(
+            curvature=np.asarray(curv, dtype=float),
+            c_eq=np.asarray(c_eq, dtype=float),
+            c_slope=np.asarray(c_slope, dtype=float),
+            latent_slope=latent * latent_scale,
+            t_eutectic=te,
+        )
+
+    free_energies = (
+        # fcc-(Al): limited Ag/Cu solubility at T_E, so the growing phase
+        # rejects both solutes strongly (self-limiting coupled growth)
+        fe([[26.0, 2.0], [2.0, 30.0]], [0.06, 0.02], [-8e-4, 3e-4], 0.17),
+        # Ag2Al (zeta): Ag-rich, nearly Cu free
+        fe([[32.0, 1.5], [1.5, 42.0]], [0.575, 0.005], [5e-4, 1e-4], 0.16),
+        # Al2Cu (theta): line compound around 32 at.% Cu
+        fe([[36.0, 1.0], [1.0, 30.0]], [0.01, 0.32], [1e-4, 6e-4], 0.17),
+        # melt at the ternary eutectic composition; latent reference 0
+        fe([[9.0, 1.0], [1.0, 9.0]], [0.18, 0.13], [0.0, 0.0], 0.0),
+    )
+    return CalphadData(
+        phase_set=phase_set,
+        free_energies=free_energies,
+        t_eutectic=te,
+        liquid_c_eq=np.array([0.18, 0.13]),
+        diffusivities=(
+            diffusivity_solid,
+            diffusivity_solid,
+            diffusivity_solid,
+            diffusivity_liquid,
+        ),
+    )

@@ -1,0 +1,163 @@
+"""Parabolic (quadratic) free energies and their grand potentials.
+
+The paper derives the driving force from *parabolically fitted Gibbs
+energies* around the ternary eutectic point instead of describing the full
+CALPHAD system (Sec. 3.3).  For each phase ``alpha`` the Helmholtz/Gibbs
+free energy density is modelled as a quadratic form in the ``K - 1``
+independent concentrations ``c``:
+
+.. math::
+
+    f_a(c, T) = \\tfrac12 (c - \\hat c_a(T))^T A_a (c - \\hat c_a(T))
+                + g_a(T)
+
+with an SPD curvature matrix ``A_a``, a temperature dependent minimum
+position :math:`\\hat c_a(T) = c^*_a + m_a (T - T_E)` (encoding the slopes
+of the solidus/liquidus planes) and an offset
+:math:`g_a(T) = L_a (T - T_E) / T_E` that carries the latent-heat driving
+force.  The quadratic form makes the Legendre transform analytic:
+
+.. math::
+
+    c_a(\\mu, T)   &= \\hat c_a(T) + A_a^{-1} \\mu \\\\
+    \\psi_a(\\mu, T) &= -\\tfrac12 \\mu^T A_a^{-1} \\mu
+                       - \\mu \\cdot \\hat c_a(T) + g_a(T)
+
+so the susceptibility of a single phase is the constant matrix
+:math:`\\partial c_a / \\partial \\mu = A_a^{-1}`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _as_spd(a: np.ndarray) -> np.ndarray:
+    """Validate and return *a* as a symmetric positive-definite matrix."""
+    a = np.asarray(a, dtype=float)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"curvature must be a square matrix, got shape {a.shape}")
+    if not np.allclose(a, a.T):
+        raise ValueError("curvature matrix must be symmetric")
+    eigvals = np.linalg.eigvalsh(a)
+    if np.any(eigvals <= 0):
+        raise ValueError(f"curvature matrix must be positive definite, eigvals={eigvals}")
+    return a
+
+
+@dataclass(frozen=True)
+class ParabolicFreeEnergy:
+    """Quadratic free-energy model of a single phase.
+
+    Parameters
+    ----------
+    curvature:
+        SPD matrix ``A_a`` of shape ``(K-1, K-1)`` — the second derivative
+        of the free energy with respect to the independent concentrations.
+    c_eq:
+        Minimum position ``c*_a`` at the eutectic temperature, i.e. the
+        equilibrium phase composition at ``(T_E, mu = 0)``.
+    c_slope:
+        Temperature slope ``m_a`` of the minimum position (per Kelvin);
+        encodes the solidus/liquidus plane slopes.
+    latent_slope:
+        Entropy-like coefficient ``L_a / T_E``: the grand-potential offset
+        is ``g_a(T) = latent_slope * (T - T_E)``.  The liquid conventionally
+        has ``latent_slope = 0`` so solids are favoured below ``T_E`` when
+        their ``latent_slope`` is positive.
+    t_eutectic:
+        Reference temperature ``T_E`` about which the fit was made.
+    """
+
+    curvature: np.ndarray
+    c_eq: np.ndarray
+    c_slope: np.ndarray
+    latent_slope: float
+    t_eutectic: float
+    _inv_curvature: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        a = _as_spd(self.curvature)
+        c_eq = np.asarray(self.c_eq, dtype=float)
+        c_slope = np.asarray(self.c_slope, dtype=float)
+        k = a.shape[0]
+        if c_eq.shape != (k,):
+            raise ValueError(f"c_eq must have shape ({k},), got {c_eq.shape}")
+        if c_slope.shape != (k,):
+            raise ValueError(f"c_slope must have shape ({k},), got {c_slope.shape}")
+        object.__setattr__(self, "curvature", a)
+        object.__setattr__(self, "c_eq", c_eq)
+        object.__setattr__(self, "c_slope", c_slope)
+        object.__setattr__(self, "_inv_curvature", np.linalg.inv(a))
+
+    @property
+    def n_solutes(self) -> int:
+        """Number of independent concentrations ``K - 1``."""
+        return self.curvature.shape[0]
+
+    @property
+    def inv_curvature(self) -> np.ndarray:
+        """The constant phase susceptibility ``A_a^{-1}``."""
+        return self._inv_curvature
+
+    # -- direct (concentration) representation -------------------------------
+
+    def c_min(self, temperature):
+        """Minimum position ``\\hat c_a(T)``, broadcasting over *temperature*.
+
+        For scalar ``T`` the result has shape ``(K-1,)``; for an array of
+        temperatures with shape ``S`` the result has shape ``(K-1,) + S``.
+        """
+        t = np.asarray(temperature, dtype=float)
+        dt = t - self.t_eutectic
+        return self.c_eq.reshape((-1,) + (1,) * t.ndim) + np.multiply.outer(
+            self.c_slope, dt
+        )
+
+    def free_energy(self, c, temperature):
+        """Free energy density ``f_a(c, T)``.
+
+        ``c`` has shape ``(K-1,) + S`` for any spatial shape ``S`` (possibly
+        empty); ``temperature`` broadcasts against ``S``.
+        """
+        c = np.asarray(c, dtype=float)
+        d = c - self.c_min(temperature)
+        quad = 0.5 * np.einsum("i...,ij,j...->...", d, self.curvature, d)
+        return quad + self.offset(temperature)
+
+    def mu_of_c(self, c, temperature):
+        """Chemical potential ``mu = df_a/dc`` for the given concentration."""
+        c = np.asarray(c, dtype=float)
+        d = c - self.c_min(temperature)
+        return np.einsum("ij,j...->i...", self.curvature, d)
+
+    # -- grand potential (chemical-potential) representation -----------------
+
+    def offset(self, temperature):
+        """Grand-potential offset ``g_a(T) = latent_slope * (T - T_E)``."""
+        t = np.asarray(temperature, dtype=float)
+        return self.latent_slope * (t - self.t_eutectic)
+
+    def c_of_mu(self, mu, temperature):
+        """Phase concentration ``c_a(mu, T) = c_min(T) + A_a^{-1} mu``."""
+        mu = np.asarray(mu, dtype=float)
+        return self.c_min(temperature) + np.einsum(
+            "ij,j...->i...", self._inv_curvature, mu
+        )
+
+    def grand_potential(self, mu, temperature):
+        """Grand potential density ``psi_a(mu, T) = f_a - mu . c_a``."""
+        mu = np.asarray(mu, dtype=float)
+        quad = -0.5 * np.einsum("i...,ij,j...->...", mu, self._inv_curvature, mu)
+        lin = -np.einsum("i...,i...->...", mu, self.c_min(temperature))
+        return quad + lin + self.offset(temperature)
+
+    def dpsi_dmu(self, mu, temperature):
+        """``dpsi_a/dmu = -c_a(mu, T)`` (thermodynamic identity)."""
+        return -self.c_of_mu(mu, temperature)
+
+    def dc_dT(self, temperature=None):
+        """``dc_a/dT`` at fixed ``mu`` — the constant slope ``m_a``."""
+        return self.c_slope

@@ -1,0 +1,131 @@
+"""Component and phase bookkeeping for multi-component alloy systems.
+
+The model of the paper treats ``K = 3`` chemical species (Ag, Al, Cu) and
+``N = 4`` thermodynamic phases (three solids and the liquid).  Because mass
+is conserved, only ``K - 1`` concentrations (and chemical potentials) are
+independent; the remaining component is the *solvent* and is eliminated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Component:
+    """A chemical species taking part in the alloy.
+
+    Parameters
+    ----------
+    name:
+        Human readable species name, e.g. ``"Ag"``.
+    solvent:
+        Whether this component is the dependent one eliminated through the
+        mass-conservation constraint ``sum_i c_i = 1``.
+    """
+
+    name: str
+    solvent: bool = False
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A thermodynamic phase (solid intermetallic, solid solution or melt).
+
+    Parameters
+    ----------
+    name:
+        Phase label, e.g. ``"Al2Cu"`` or ``"liquid"``.
+    is_liquid:
+        The model needs to know which order parameter is the melt: the
+        anti-trapping current (Eq. 4 of the paper) and the solidification
+        front region ``F_Omega`` are defined relative to the liquid phase.
+    """
+
+    name: str
+    is_liquid: bool = False
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+@dataclass(frozen=True)
+class PhaseSet:
+    """An ordered collection of phases and components.
+
+    The ordering fixes the meaning of the axes of every field array in the
+    solver: ``phi[alpha]`` is the order parameter of ``phases[alpha]`` and
+    ``mu[i]`` the chemical potential of ``components[i]`` (solutes only).
+
+    Exactly one phase must be liquid and exactly one component must be the
+    solvent; the solvent must be the *last* component so that the leading
+    ``K - 1`` components line up with the ``mu`` axes.
+    """
+
+    phases: tuple[Phase, ...]
+    components: tuple[Component, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        liquids = [p for p in self.phases if p.is_liquid]
+        if len(liquids) != 1:
+            raise ValueError(
+                f"exactly one liquid phase required, got {len(liquids)}"
+            )
+        if self.components:
+            solvents = [c for c in self.components if c.solvent]
+            if len(solvents) != 1:
+                raise ValueError(
+                    f"exactly one solvent component required, got {len(solvents)}"
+                )
+            if not self.components[-1].solvent:
+                raise ValueError("the solvent must be the last component")
+        names = [p.name for p in self.phases]
+        if len(set(names)) != len(names):
+            raise ValueError("phase names must be unique")
+
+    @property
+    def n_phases(self) -> int:
+        """Number of order parameters ``N``."""
+        return len(self.phases)
+
+    @property
+    def n_components(self) -> int:
+        """Total number of chemical species ``K``."""
+        return len(self.components)
+
+    @property
+    def n_solutes(self) -> int:
+        """Number of independent concentrations / chemical potentials ``K - 1``."""
+        return max(len(self.components) - 1, 0)
+
+    @property
+    def liquid_index(self) -> int:
+        """Index of the liquid order parameter (``ell`` in the paper)."""
+        for i, p in enumerate(self.phases):
+            if p.is_liquid:
+                return i
+        raise AssertionError("unreachable: validated in __post_init__")
+
+    @property
+    def solid_indices(self) -> tuple[int, ...]:
+        """Indices of all solid order parameters."""
+        return tuple(
+            i for i, p in enumerate(self.phases) if not p.is_liquid
+        )
+
+    def phase_index(self, name: str) -> int:
+        """Return the order-parameter index of the phase called *name*."""
+        for i, p in enumerate(self.phases):
+            if p.name == name:
+                return i
+        raise KeyError(f"no phase named {name!r}")
+
+    def component_index(self, name: str) -> int:
+        """Return the component index of the species called *name*."""
+        for i, c in enumerate(self.components):
+            if c.name == name:
+                return i
+        raise KeyError(f"no component named {name!r}")

@@ -1,0 +1,206 @@
+"""Facade combining per-phase parabolic fits into whole-system operations.
+
+The solver kernels never touch individual :class:`ParabolicFreeEnergy`
+objects; they consume vectorized, field-shaped quantities:
+
+* grand potentials ``psi_a(mu, T)`` of all phases (driving force, Eq. 2),
+* phase concentrations ``c_a(mu, T)`` (anti-trapping current, Eq. 4),
+* the mixture susceptibility ``(dc/dmu)(phi) = sum_a h_a A_a^{-1}`` and its
+  inverse (prefactor of the mu evolution, Eq. 3),
+* the mixture mobility ``M(phi, T) = sum_a g_a D_a(T) A_a^{-1}``,
+* ``(dc/dT)(phi) = sum_a h_a m_a`` (frozen-temperature source term).
+
+All methods broadcast over arbitrary spatial shapes ``S``: interpolation
+weights have shape ``(N,) + S``, chemical potentials ``(K-1,) + S``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.thermo.calphad import CalphadData, ag_al_cu_data
+from repro.thermo.parabolic import ParabolicFreeEnergy
+from repro.thermo.phases import PhaseSet
+
+
+def _solve_spd_field(mat: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``mat @ x = rhs`` per cell for field-shaped SPD matrices.
+
+    ``mat`` has shape ``(k, k) + S`` and ``rhs`` shape ``(k,) + S``.  The
+    common case ``k == 2`` is solved with the analytic inverse (this is the
+    hot path of the mu-kernel); larger systems fall back to
+    :func:`numpy.linalg.solve`.
+    """
+    k = mat.shape[0]
+    if rhs.shape[0] != k or mat.shape[1] != k:
+        raise ValueError(f"shape mismatch: mat {mat.shape}, rhs {rhs.shape}")
+    if k == 1:
+        return rhs / mat[0, 0]
+    if k == 2:
+        a, b = mat[0, 0], mat[0, 1]
+        c, d = mat[1, 0], mat[1, 1]
+        det = a * d - b * c
+        x0 = (d * rhs[0] - b * rhs[1]) / det
+        x1 = (a * rhs[1] - c * rhs[0]) / det
+        return np.stack([x0, x1])
+    # (k,k)+S -> S+(k,k), (k,)+S -> S+(k,)
+    m = np.moveaxis(mat, (0, 1), (-2, -1))
+    r = np.moveaxis(rhs, 0, -1)[..., None]
+    x = np.linalg.solve(m, r)[..., 0]
+    return np.moveaxis(x, -1, 0)
+
+
+class TernaryEutecticSystem:
+    """Whole-alloy thermodynamics built from parabolic per-phase fits.
+
+    Parameters
+    ----------
+    data:
+        The coefficient bundle; defaults to the approximate Ag-Al-Cu set
+        from :func:`repro.thermo.calphad.ag_al_cu_data`.
+    """
+
+    def __init__(self, data: CalphadData | None = None):
+        self.data = data if data is not None else ag_al_cu_data()
+        self.phase_set: PhaseSet = self.data.phase_set
+        self.t_eutectic: float = self.data.t_eutectic
+        # Stacked constant coefficient arrays for vectorized evaluation.
+        fes = self.data.free_energies
+        self._inv_curv = np.stack([fe.inv_curvature for fe in fes])  # (N,k,k)
+        self._curv = np.stack([fe.curvature for fe in fes])          # (N,k,k)
+        self._c_eq = np.stack([fe.c_eq for fe in fes])               # (N,k)
+        self._c_slope = np.stack([fe.c_slope for fe in fes])         # (N,k)
+        self._latent = np.array([fe.latent_slope for fe in fes])     # (N,)
+        self._diff = np.asarray(self.data.diffusivities, dtype=float)
+
+    # -- small accessors ------------------------------------------------------
+
+    @property
+    def n_phases(self) -> int:
+        """Number of order parameters ``N``."""
+        return self.phase_set.n_phases
+
+    @property
+    def n_solutes(self) -> int:
+        """Number of independent chemical potentials ``K - 1``."""
+        return self.phase_set.n_solutes
+
+    @property
+    def liquid_index(self) -> int:
+        """Order-parameter index of the melt."""
+        return self.phase_set.liquid_index
+
+    @property
+    def diffusivities(self) -> np.ndarray:
+        """Per-phase diffusivities ``D_a`` (phase order)."""
+        return self._diff
+
+    def free_energy(self, alpha: int) -> ParabolicFreeEnergy:
+        """The parabolic fit of phase *alpha*."""
+        return self.data.free_energies[alpha]
+
+    # -- field-shaped thermodynamic quantities --------------------------------
+
+    def c_min(self, temperature) -> np.ndarray:
+        """Minimum positions ``\\hat c_a(T)`` for all phases.
+
+        Shape ``(N, K-1) + S`` where ``S`` is the shape of *temperature*.
+        """
+        t = np.asarray(temperature, dtype=float)
+        dt = t - self.t_eutectic
+        extra = (1,) * t.ndim
+        return self._c_eq.reshape(self._c_eq.shape + extra) + np.multiply.outer(
+            self._c_slope, dt
+        )
+
+    @staticmethod
+    def _align_temperature(temperature, mu: np.ndarray) -> np.ndarray:
+        """Pad *temperature* with singleton axes to broadcast against the
+        spatial shape of *mu* (scalars and per-slice arrays both work)."""
+        t = np.asarray(temperature, dtype=float)
+        spatial = mu.ndim - 1
+        if t.ndim < spatial:
+            t = t.reshape((1,) * (spatial - t.ndim) + t.shape)
+        return t
+
+    def grand_potentials(self, mu, temperature) -> np.ndarray:
+        """``psi_a(mu, T)`` for all phases, shape ``(N,) + S``.
+
+        *mu* has shape ``(K-1,) + S``; *temperature* broadcasts over ``S``
+        (scalar and per-slice values are padded automatically).
+        """
+        mu = np.asarray(mu, dtype=float)
+        t = self._align_temperature(temperature, mu)
+        quad = -0.5 * np.einsum("i...,aij,j...->a...", mu, self._inv_curv, mu)
+        cmin = self.c_min(t)
+        lin = -np.einsum("i...,ai...->a...", mu, cmin)
+        off = np.multiply.outer(self._latent, t - self.t_eutectic)
+        return quad + lin + off
+
+    def phase_concentrations(self, mu, temperature) -> np.ndarray:
+        """``c_a(mu, T)`` for all phases, shape ``(N, K-1) + S``."""
+        mu = np.asarray(mu, dtype=float)
+        t = self._align_temperature(temperature, mu)
+        return self.c_min(t) + np.einsum(
+            "aij,j...->ai...", self._inv_curv, mu
+        )
+
+    def concentration(self, weights, mu, temperature) -> np.ndarray:
+        """Mixture concentration ``c = sum_a h_a c_a(mu, T)``.
+
+        *weights* are interpolation values ``h_a(phi)`` of shape
+        ``(N,) + S``; result has shape ``(K-1,) + S``.
+        """
+        c_a = self.phase_concentrations(mu, temperature)
+        return np.einsum("a...,ai...->i...", np.asarray(weights), c_a)
+
+    def susceptibility(self, weights) -> np.ndarray:
+        """Mixture susceptibility ``dc/dmu = sum_a h_a A_a^{-1}``.
+
+        Shape ``(K-1, K-1) + S``; SPD as a convex combination of SPD
+        matrices whenever the weights are a partition of unity.
+        """
+        w = np.asarray(weights, dtype=float)
+        return np.einsum("a...,aij->ij...", w, self._inv_curv)
+
+    def solve_susceptibility(self, weights, rhs) -> np.ndarray:
+        """Apply the inverse susceptibility: solve ``(dc/dmu) x = rhs``.
+
+        This is the ``[(dc/dmu)]^{-1}`` prefactor of Eq. 3, evaluated per
+        cell.  *rhs* has shape ``(K-1,) + S``.
+        """
+        chi = self.susceptibility(weights)
+        return _solve_spd_field(chi, np.asarray(rhs, dtype=float))
+
+    def dc_dT(self, weights) -> np.ndarray:
+        """``(dc/dT)(phi) = sum_a h_a m_a``, shape ``(K-1,) + S``."""
+        w = np.asarray(weights, dtype=float)
+        return np.einsum("a...,ai->i...", w, self._c_slope)
+
+    def mobility(self, weights, temperature=None) -> np.ndarray:
+        """Mixture mobility ``M(phi) = sum_a g_a D_a A_a^{-1}``.
+
+        Shape ``(K-1, K-1) + S``.  *temperature* is accepted for signature
+        compatibility with temperature-dependent mobilities (an Arrhenius
+        factor can be layered on via the dataset diffusivities).
+        """
+        w = np.asarray(weights, dtype=float)
+        coeff = self._inv_curv * self._diff[:, None, None]
+        return np.einsum("a...,aij->ij...", w, coeff)
+
+    def mu_of_mixture(self, weights, c, temperature) -> np.ndarray:
+        """Invert the mixture relation: find ``mu`` with ``c(phi,mu,T) = c``.
+
+        Because every ``c_a`` is affine in ``mu`` the mixture relation is
+        linear: ``c = sum h_a c_min_a + (sum h_a A_a^{-1}) mu``.
+        """
+        w = np.asarray(weights, dtype=float)
+        cmin = self.c_min(temperature)
+        base = np.einsum("a...,ai...->i...", w, cmin)
+        return _solve_spd_field(
+            self.susceptibility(w), np.asarray(c, dtype=float) - base
+        )
+
+    def lever_rule_fractions(self) -> np.ndarray:
+        """Equilibrium solid phase fractions of the eutectic (phase order)."""
+        return self.data.lever_rule_fractions()

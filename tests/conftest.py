@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite.
+
+Grids are kept tiny: the pure-Python reference kernel (the correctness
+anchor) costs ~1 ms/cell, and the suite runs several hundred tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import make_context
+from repro.core.parameters import PhaseFieldParameters
+from repro.core.scenarios import fill_ghosts_periodic, make_scenario
+from repro.thermo.system import TernaryEutecticSystem
+
+
+@pytest.fixture(scope="session")
+def system() -> TernaryEutecticSystem:
+    return TernaryEutecticSystem()
+
+
+@pytest.fixture(scope="session")
+def params3d(system) -> PhaseFieldParameters:
+    return PhaseFieldParameters.for_system(system, dim=3)
+
+
+@pytest.fixture(scope="session")
+def params2d(system) -> PhaseFieldParameters:
+    return PhaseFieldParameters.for_system(system, dim=2)
+
+
+@pytest.fixture(scope="session")
+def ctx3d(system, params3d):
+    return make_context(system, params3d)
+
+
+@pytest.fixture(scope="session")
+def interface_block(system, params3d):
+    """Small ghosted interface-scenario block (phi, mu, t_ghost)."""
+    phi, mu, tg, _, _ = make_scenario(
+        "interface", (6, 5, 10), system, params3d
+    )
+    return phi, mu, tg
+
+
+@pytest.fixture(scope="session")
+def interface_step(system, params3d, ctx3d, interface_block):
+    """One reference phi step applied: (phi_src, phi_dst, mu, t_old, t_new)."""
+    from repro.core.kernels import get_phi_kernel
+
+    phi, mu, tg = interface_block
+    phi_dst = phi.copy()
+    phi_dst[(slice(None),) + (slice(1, -1),) * 3] = get_phi_kernel("reference")(
+        ctx3d, phi, mu, tg
+    )
+    fill_ghosts_periodic(phi_dst, 3)
+    return phi, phi_dst, mu, tg, tg - 0.02
+
+
+def rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)

@@ -1,0 +1,162 @@
+"""Tests of the microstructure analysis substrate."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import (
+    lamella_spacing,
+    radial_average,
+    two_point_correlation,
+)
+from repro.analysis.fractions import phase_fractions, solid_phase_fractions
+from repro.analysis.pca import correlation_pca
+from repro.analysis.topology import classify_cross_section, microstructure_graph
+from repro.thermo.system import TernaryEutecticSystem
+
+
+class TestFractions:
+    def test_phase_fractions_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        phi = rng.uniform(size=(4, 5, 5))
+        phi /= phi.sum(axis=0)
+        np.testing.assert_allclose(phase_fractions(phi).sum(), 1.0)
+
+    def test_solid_fractions_exclude_melt(self):
+        system = TernaryEutecticSystem()
+        phi = np.zeros((4, 4, 10))
+        phi[system.liquid_index, :, 5:] = 1.0
+        phi[0, :, :3] = 1.0
+        phi[1, :, 3:5] = 1.0
+        f = solid_phase_fractions(phi, system)
+        assert f[system.liquid_index] == 0.0
+        assert f[0] == pytest.approx(0.6)
+        assert f[1] == pytest.approx(0.4)
+
+    def test_all_liquid_gives_zeros(self):
+        system = TernaryEutecticSystem()
+        phi = np.zeros((4, 3, 3))
+        phi[system.liquid_index] = 1.0
+        np.testing.assert_allclose(solid_phase_fractions(phi, system), 0.0)
+
+
+class TestCorrelation:
+    def test_autocorrelation_peak_at_origin(self):
+        rng = np.random.default_rng(1)
+        f = rng.uniform(size=(16, 16))
+        corr = two_point_correlation(f)
+        assert corr.flat[0] == pytest.approx((f * f).mean())
+        assert corr.flat[0] >= corr.max() - 1e-12
+
+    def test_periodic_stripes_periodicity(self):
+        x = np.arange(32)
+        stripes = ((x // 4) % 2).astype(float)
+        f = np.tile(stripes[:, None], (1, 8))
+        corr = two_point_correlation(f)
+        # period 8 along x: correlation at shift 8 equals shift 0
+        assert corr[8, 0] == pytest.approx(corr[0, 0])
+        assert corr[4, 0] < corr[0, 0]
+
+    def test_nonperiodic_variant_normalized(self):
+        f = np.ones((8, 8))
+        corr = two_point_correlation(f, periodic=False)
+        np.testing.assert_allclose(corr[0, 0], 1.0)
+        np.testing.assert_allclose(corr[4, 4], 1.0, rtol=1e-6)
+
+    def test_radial_average_monotone_for_blob(self):
+        x, y = np.meshgrid(np.arange(32), np.arange(32), indexing="ij")
+        f = np.exp(-(((x - 16) ** 2 + (y - 16) ** 2) / 30.0))
+        corr = two_point_correlation(f)
+        prof = radial_average(corr, max_radius=10)
+        assert prof[0] == max(prof[:5])
+
+    def test_lamella_spacing_detects_period(self):
+        x = np.arange(48)
+        f = np.sin(2 * np.pi * x / 12.0)
+        assert lamella_spacing(f) == pytest.approx(12.0)
+
+    def test_lamella_spacing_flat_field(self):
+        assert lamella_spacing(np.ones(32)) == float("inf")
+
+    def test_lamella_spacing_2d(self):
+        x = np.arange(40)
+        f = np.tile(np.sin(2 * np.pi * x / 8.0)[:, None], (1, 6))
+        assert lamella_spacing(f, axis=0) == pytest.approx(8.0)
+
+
+class TestTopology:
+    def test_brick(self):
+        mask = np.zeros((12, 12), dtype=bool)
+        mask[4:8, 4:8] = True
+        c = classify_cross_section(mask)
+        assert (c.rings, c.chains, c.bricks) == (0, 0, 1)
+
+    def test_chain(self):
+        mask = np.zeros((12, 30), dtype=bool)
+        mask[5:7, 2:28] = True
+        c = classify_cross_section(mask)
+        assert c.chains == 1
+
+    def test_ring(self):
+        mask = np.zeros((14, 14), dtype=bool)
+        mask[3:11, 3:11] = True
+        mask[5:9, 5:9] = False
+        c = classify_cross_section(mask)
+        assert c.rings == 1
+
+    def test_mixed_census(self):
+        mask = np.zeros((20, 40), dtype=bool)
+        mask[2:6, 2:6] = True          # brick
+        mask[10:12, 2:30] = True       # chain
+        mask[14:19, 33:38] = True      # ring below
+        mask[15:18, 34:37] = False
+        c = classify_cross_section(mask)
+        assert c.components == 3
+        assert c.bricks == 1
+        assert c.chains == 1
+        assert c.rings == 1
+
+    def test_noise_filtered(self):
+        mask = np.zeros((10, 10), dtype=bool)
+        mask[2, 2] = True
+        c = classify_cross_section(mask, min_cells=4)
+        assert c.components == 0
+
+    def test_3d_mask_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            classify_cross_section(np.zeros((3, 3, 3), dtype=bool))
+
+    def test_graph_adjacency_and_connections(self):
+        labels = np.zeros((8, 20), dtype=int)
+        labels[3:5, 1:6] = 1
+        labels[3:5, 7:13] = 2   # bridges 1 and 3 (within gap 2 of both)
+        labels[3:5, 14:19] = 3
+        g = microstructure_graph(labels)
+        assert set(g.nodes) == {1, 2, 3}
+        assert g.has_edge(1, 2) or g.has_edge(2, 3)
+
+
+class TestPCA:
+    def test_reduces_structured_ensemble(self):
+        rng = np.random.default_rng(3)
+        base = rng.normal(size=64)
+        maps = [base * (1 + 0.1 * i) + rng.normal(scale=0.01, size=64)
+                for i in range(6)]
+        res = correlation_pca([m.reshape(8, 8) for m in maps], n_components=2)
+        assert res.explained_ratio[0] > 0.9
+        assert res.scores.shape == (6, 2)
+
+    def test_transform_consistent_with_scores(self):
+        rng = np.random.default_rng(4)
+        maps = [rng.normal(size=(4, 4)) for _ in range(5)]
+        res = correlation_pca(maps, n_components=2)
+        np.testing.assert_allclose(
+            res.transform(maps[2]), res.scores[2], atol=1e-10
+        )
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError, match="two samples"):
+            correlation_pca([np.zeros((3, 3))])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            correlation_pca([np.zeros((3, 3)), np.zeros((4, 4))])

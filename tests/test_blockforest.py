@@ -1,0 +1,101 @@
+"""Tests of the block partition and neighbourhood topology."""
+
+import numpy as np
+import pytest
+
+from repro.grid.balance import assign_blocks, weighted_assign
+from repro.grid.blockforest import BlockForest, _balanced_factors
+
+
+class TestConstruction:
+    def test_partition_geometry(self):
+        f = BlockForest((12, 8, 16), (3, 2, 4))
+        assert f.n_blocks == 24
+        assert f.block_shape == (4, 4, 4)
+        offs = {b.offset for b in f.blocks}
+        assert (0, 0, 0) in offs
+        assert (8, 4, 12) in offs
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError, match="evenly"):
+            BlockForest((10, 10), (3, 2))
+
+    def test_default_periodicity(self):
+        f = BlockForest((4, 4, 4), (2, 2, 2))
+        assert f.periodicity == (True, True, False)
+
+    def test_block_ids_lexicographic(self):
+        f = BlockForest((4, 4), (2, 2))
+        assert f.block_id((1, 1)) == 3
+        assert f.blocks[3].index == (1, 1)
+
+    def test_cells(self):
+        f = BlockForest((6, 6), (2, 3))
+        assert f.blocks[0].n_cells == 6
+
+
+class TestNeighborhood:
+    def test_interior_neighbors(self):
+        f = BlockForest((8, 8, 8), (2, 2, 2))
+        b = f.blocks[f.block_id((0, 0, 0))]
+        n = f.neighbor(b, 0, 1)
+        assert n.index == (1, 0, 0)
+
+    def test_periodic_wrap(self):
+        f = BlockForest((8, 8, 8), (2, 2, 2))
+        b = f.blocks[f.block_id((0, 0, 0))]
+        n = f.neighbor(b, 0, 0)  # low side wraps
+        assert n.index == (1, 0, 0)
+
+    def test_non_periodic_edge_is_none(self):
+        f = BlockForest((8, 8, 8), (2, 2, 2))
+        b = f.blocks[f.block_id((0, 0, 0))]
+        assert f.neighbor(b, 2, 0) is None
+
+    def test_self_wrap_single_block_axis(self):
+        f = BlockForest((8, 8), (1, 2), periodicity=(True, False))
+        b = f.blocks[0]
+        assert f.neighbor(b, 0, 1) is b
+
+
+class TestForProcesses:
+    def test_one_block_per_process(self):
+        f = BlockForest.for_processes((10, 10, 10), 8)
+        assert f.n_blocks == 8
+        assert f.block_shape == (10, 10, 10)
+
+    def test_balanced_factors(self):
+        assert sorted(_balanced_factors(8, 3)) == [2, 2, 2]
+        assert np.prod(_balanced_factors(12, 3)) == 12
+        assert np.prod(_balanced_factors(7, 2)) == 7
+
+
+class TestBalance:
+    def test_contiguous_even(self):
+        f = BlockForest((8, 8), (4, 2))
+        owner = assign_blocks(f, 4)
+        counts = np.bincount(owner)
+        assert counts.tolist() == [2, 2, 2, 2]
+        # contiguity
+        assert owner == sorted(owner)
+
+    def test_round_robin(self):
+        f = BlockForest((8, 8), (4, 2))
+        owner = assign_blocks(f, 3, strategy="round_robin")
+        assert owner[:3] == [0, 1, 2]
+
+    def test_too_many_ranks(self):
+        f = BlockForest((4, 4), (2, 2))
+        with pytest.raises(ValueError, match="ranks"):
+            assign_blocks(f, 5)
+
+    def test_unknown_strategy(self):
+        f = BlockForest((4, 4), (2, 2))
+        with pytest.raises(ValueError, match="strategy"):
+            assign_blocks(f, 2, strategy="chaotic")
+
+    def test_weighted_assignment_balances_load(self):
+        weights = np.array([10.0, 1.0, 1.0, 1.0, 1.0, 10.0])
+        owner = weighted_assign(weights, 2)
+        loads = [weights[np.array(owner) == r].sum() for r in range(2)]
+        assert abs(loads[0] - loads[1]) <= 2.0

@@ -1,0 +1,76 @@
+"""Tests of the boundary handlers."""
+
+import numpy as np
+import pytest
+
+from repro.grid.boundary import (
+    BoundarySpec,
+    Dirichlet,
+    Neumann,
+    Periodic,
+    apply_boundaries,
+)
+
+
+def ghosted(shape, comps=2, seed=0):
+    rng = np.random.default_rng(seed)
+    a = np.zeros((comps,) + tuple(s + 2 for s in shape))
+    a[(slice(None),) + tuple(slice(1, -1) for _ in shape)] = rng.normal(
+        size=(comps,) + shape
+    )
+    return a
+
+
+class TestHandlers:
+    def test_neumann_mirrors_edge(self):
+        a = ghosted((4, 5))
+        Neumann().apply(a, 2, 0, 0)
+        np.testing.assert_array_equal(a[:, 0, :], a[:, 1, :])
+
+    def test_dirichlet_face_value(self):
+        a = ghosted((4, 5))
+        Dirichlet(2.5).apply(a, 2, 1, 1)
+        face = 0.5 * (a[:, :, -1] + a[:, :, -2])
+        np.testing.assert_allclose(face, 2.5)
+
+    def test_dirichlet_per_component(self):
+        a = ghosted((4, 5))
+        Dirichlet(np.array([1.0, -1.0])).apply(a, 2, 0, 0)
+        face = 0.5 * (a[:, 0, :] + a[:, 1, :])
+        np.testing.assert_allclose(face[0], 1.0)
+        np.testing.assert_allclose(face[1], -1.0)
+
+    def test_periodic_wraps(self):
+        a = ghosted((4, 5))
+        Periodic().apply(a, 2, 0, 0)
+        Periodic().apply(a, 2, 0, 1)
+        np.testing.assert_array_equal(a[:, 0, :], a[:, -2, :])
+        np.testing.assert_array_equal(a[:, -1, :], a[:, 1, :])
+
+
+class TestSpec:
+    def test_unpaired_periodic_rejected(self):
+        with pytest.raises(ValueError, match="paired"):
+            BoundarySpec(handlers=((Periodic(), Neumann()),))
+
+    def test_directional_defaults(self):
+        spec = BoundarySpec.directional(3, top=Dirichlet(0.0))
+        assert spec.dim == 3
+        assert spec.periodic_axes() == (0, 1)
+        assert isinstance(spec.handlers[2][0], Neumann)
+        assert isinstance(spec.handlers[2][1], Dirichlet)
+
+    def test_apply_boundaries_fills_corners(self):
+        spec = BoundarySpec.directional(2, top=Dirichlet(1.0))
+        a = ghosted((4, 5), comps=1)
+        apply_boundaries(a, spec)
+        # corner ghost cells touched by the axis-sequential pass
+        assert np.isfinite(a).all()
+        # periodic x wrap present
+        np.testing.assert_array_equal(a[:, 0, 1:-1], a[:, -2, 1:-1])
+
+    def test_neumann_preserves_constant_state(self):
+        spec = BoundarySpec.directional(2)
+        a = np.full((1, 6, 7), 3.0)
+        apply_boundaries(a, spec)
+        np.testing.assert_allclose(a, 3.0)

@@ -1,0 +1,75 @@
+"""Tests of the cartesian topology helper."""
+
+import pytest
+
+from repro.simmpi import run_spmd
+from repro.simmpi.cart import CartComm, dims_create
+
+
+class TestDimsCreate:
+    @pytest.mark.parametrize("n,dim", [(8, 3), (12, 3), (7, 2), (1, 3), (64, 3)])
+    def test_product_and_balance(self, n, dim):
+        dims = dims_create(n, dim)
+        prod = 1
+        for d in dims:
+            prod *= d
+        assert prod == n
+        assert len(dims) == dim
+        assert max(dims) / max(min(dims), 1) <= n  # sane
+
+    def test_cube(self):
+        assert sorted(dims_create(27, 3)) == [3, 3, 3]
+
+
+class TestCartComm:
+    def test_coords_roundtrip(self):
+        def fn(comm):
+            cart = CartComm(comm, (2, 3), (True, False))
+            c = cart.coords()
+            assert cart.rank_of(c) == comm.rank
+            return c
+
+        coords = run_spmd(6, fn)
+        assert len(set(coords)) == 6
+
+    def test_size_mismatch(self):
+        def fn(comm):
+            CartComm(comm, (2, 2), (True, True))
+
+        with pytest.raises(ValueError, match="grid"):
+            run_spmd(6, fn)
+
+    def test_shift_interior(self):
+        def fn(comm):
+            cart = CartComm(comm, (4,), (False,))
+            return cart.shift(0, 1)
+
+        res = run_spmd(4, fn)
+        assert res[1] == (0, 2)
+        assert res[0] == (None, 1)
+        assert res[3] == (2, None)
+
+    def test_shift_periodic_wrap(self):
+        def fn(comm):
+            cart = CartComm(comm, (4,), (True,))
+            return cart.shift(0, 1)
+
+        res = run_spmd(4, fn)
+        assert res[0] == (3, 1)
+        assert res[3] == (2, 0)
+
+    def test_shift_self_on_single_periodic_axis(self):
+        def fn(comm):
+            cart = CartComm(comm, (1, 2), (True, False))
+            return cart.shift(0, 1)
+
+        res = run_spmd(2, fn)
+        assert res[0] == (0, 0)
+
+    def test_rank_of_out_of_range(self):
+        def fn(comm):
+            cart = CartComm(comm, (2,), (False,))
+            cart.rank_of((5,))
+
+        with pytest.raises(IndexError):
+            run_spmd(2, fn)

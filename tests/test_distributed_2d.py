@@ -1,0 +1,51 @@
+"""Distributed solver in 2-D (D2C5/D2C9 stencils over simmpi ranks)."""
+
+import numpy as np
+import pytest
+
+from repro.core.nucleation import smooth_phase_field, voronoi_initial_condition
+from repro.core.solver import Simulation
+from repro.distributed import DistributedSimulation
+from repro.thermo.system import TernaryEutecticSystem
+
+SHAPE = (12, 20)
+STEPS = 6
+
+
+@pytest.fixture(scope="module")
+def reference():
+    system = TernaryEutecticSystem()
+    phi0, mu0 = voronoi_initial_condition(system, SHAPE, solid_height=7, n_seeds=4)
+    phi0 = smooth_phase_field(phi0, 2)
+    sim = Simulation(shape=SHAPE, system=system, kernel="buffered")
+    sim.initialize(phi0, mu0)
+    sim.step(STEPS)
+    return dict(system=system, phi0=phi0, mu0=mu0, params=sim.params,
+                temperature=sim.temperature,
+                phi=sim.phi.interior_src.copy(), mu=sim.mu.interior_src.copy())
+
+
+@pytest.mark.parametrize("bpa", [(2, 1), (1, 2), (2, 2), (3, 1), (4, 2)])
+def test_2d_decomposition_bitwise(reference, bpa):
+    d = DistributedSimulation(
+        SHAPE, bpa, system=reference["system"], params=reference["params"],
+        temperature=reference["temperature"], kernel="buffered",
+    )
+    res = d.run(STEPS, reference["phi0"], reference["mu0"])
+    np.testing.assert_array_equal(res.phi, reference["phi"])
+    np.testing.assert_array_equal(res.mu, reference["mu"])
+
+
+def test_2d_overlap_schedule(reference):
+    d = DistributedSimulation(
+        SHAPE, (2, 2), system=reference["system"], params=reference["params"],
+        temperature=reference["temperature"], kernel="buffered", overlap=True,
+    )
+    res = d.run(STEPS, reference["phi0"], reference["mu0"])
+    np.testing.assert_allclose(res.phi, reference["phi"], atol=1e-12)
+    np.testing.assert_allclose(res.mu, reference["mu"], atol=1e-11)
+
+
+def test_indivisible_blocks_rejected(reference):
+    with pytest.raises(ValueError, match="evenly"):
+        DistributedSimulation(SHAPE, (5, 1), system=reference["system"])

@@ -1,0 +1,103 @@
+"""Tests of the grand-potential driving force."""
+
+import numpy as np
+import pytest
+
+from repro.core.driving import driving_force, grand_potential_density
+from repro.core.interpolation import moelans_h
+from repro.thermo.system import TernaryEutecticSystem
+
+
+@pytest.fixture(scope="module")
+def system():
+    return TernaryEutecticSystem()
+
+
+class TestDrivingForce:
+    def test_zero_in_bulk(self, system):
+        phi = np.zeros((4, 2))
+        phi[0] = 1.0
+        mu = np.zeros((2, 2))
+        d = driving_force(system, phi, mu, system.t_eutectic - 3.0)
+        np.testing.assert_allclose(d, 0.0, atol=1e-12)
+
+    def test_zero_at_eutectic_equilibrium(self, system):
+        """At (T_E, mu*) all grand potentials are equal: no driving force."""
+        rng = np.random.default_rng(0)
+        phi = rng.uniform(0.1, 1.0, size=(4, 3))
+        phi /= phi.sum(axis=0)
+        mu = np.zeros((2, 3))
+        d = driving_force(system, phi, mu, system.t_eutectic)
+        np.testing.assert_allclose(d, 0.0, atol=1e-12)
+
+    def test_undercooling_favours_solid(self, system):
+        """Below T_E at a solid-liquid interface, the force pushes phi_s up.
+
+        The phase update is phi_dot ~ -(d_a - mean), so growth of the solid
+        requires d_solid < d_liquid.
+        """
+        ell = system.liquid_index
+        s = system.phase_set.solid_indices[0]
+        phi = np.zeros((4, 1))
+        phi[s] = 0.5
+        phi[ell] = 0.5
+        mu = np.zeros((2, 1))
+        d = driving_force(system, phi, mu, system.t_eutectic - 3.0)
+        assert d[s, 0] < d[ell, 0]
+
+    def test_superheating_favours_liquid(self, system):
+        ell = system.liquid_index
+        s = system.phase_set.solid_indices[1]
+        phi = np.zeros((4, 1))
+        phi[s] = 0.5
+        phi[ell] = 0.5
+        mu = np.zeros((2, 1))
+        d = driving_force(system, phi, mu, system.t_eutectic + 3.0)
+        assert d[ell, 0] < d[s, 0]
+
+    def test_matches_finite_difference_of_density(self, system):
+        rng = np.random.default_rng(5)
+        phi = rng.uniform(0.1, 0.9, size=(4, 1))
+        mu = rng.normal(scale=0.1, size=(2, 1))
+        t = system.t_eutectic - 1.0
+        d = driving_force(system, phi, mu, t)
+        eps = 1e-7
+        for a in range(4):
+            dp = np.zeros((4, 1))
+            dp[a] = eps
+            num = (
+                grand_potential_density(system, phi + dp, mu, t)
+                - grand_potential_density(system, phi - dp, mu, t)
+            ) / (2 * eps)
+            assert d[a, 0] == pytest.approx(num[0], abs=1e-6)
+
+    def test_precomputed_psi_path(self, system):
+        rng = np.random.default_rng(6)
+        phi = rng.uniform(0.1, 0.9, size=(4, 2))
+        mu = rng.normal(scale=0.1, size=(2, 2))
+        t = system.t_eutectic - 2.0
+        psi = system.grand_potentials(mu, t)
+        d1 = driving_force(system, phi, mu, t)
+        d2 = driving_force(system, phi, mu, t, psi=psi)
+        np.testing.assert_allclose(d1, d2, atol=1e-14)
+
+
+class TestGrandPotentialDensity:
+    def test_pure_phase_value(self, system):
+        phi = np.zeros((4, 1))
+        phi[2] = 1.0
+        mu = np.array([0.1, -0.2]).reshape(2, 1)
+        t = system.t_eutectic + 1.0
+        val = grand_potential_density(system, phi, mu, t)
+        expected = system.free_energy(2).grand_potential(mu[:, 0], t)
+        assert val[0] == pytest.approx(float(expected))
+
+    def test_interpolation_consistency(self, system):
+        rng = np.random.default_rng(7)
+        phi = rng.uniform(0.1, 0.9, size=(4, 1))
+        mu = np.zeros((2, 1))
+        t = system.t_eutectic - 0.5
+        h = moelans_h(phi)
+        psi = system.grand_potentials(mu, t)
+        expected = float((h * psi).sum())
+        assert grand_potential_density(system, phi, mu, t)[0] == pytest.approx(expected)

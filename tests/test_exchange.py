@@ -1,0 +1,113 @@
+"""Tests of the distributed ghost-layer exchange."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.exchange import ExchangeTimer, exchange_ghosts
+from repro.grid.boundary import BoundarySpec, Dirichlet, Neumann
+from repro.simmpi import CartComm, run_spmd
+
+
+def _global_field(shape, comps=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(comps,) + shape)
+
+
+@pytest.mark.parametrize("dims", [(2, 1), (2, 2), (4, 1), (1, 3)])
+def test_exchange_reproduces_global_ghosts(dims):
+    """Each block's ghost layers must equal the global field's values
+    (periodic x, Neumann/Dirichlet z)."""
+    shape = (8, 12)
+    comps = 2
+    global_field = _global_field(shape, comps)
+    spec = BoundarySpec.directional(2, bottom=Neumann(), top=Dirichlet(1.5))
+    bx, bz = shape[0] // dims[0], shape[1] // dims[1]
+
+    # reference: single ghosted array with BC + periodic wrap applied
+    ref = np.zeros((comps, shape[0] + 2, shape[1] + 2))
+    ref[:, 1:-1, 1:-1] = global_field
+    ref[:, 0, :] = ref[:, -2, :]
+    ref[:, -1, :] = ref[:, 1, :]
+    from repro.grid.boundary import apply_boundaries
+
+    ref2 = np.zeros_like(ref)
+    ref2[:, 1:-1, 1:-1] = global_field
+    apply_boundaries(ref2, spec)
+
+    n = dims[0] * dims[1]
+
+    def fn(comm):
+        cart = CartComm(comm, dims, (True, False))
+        cx, cz = cart.coords()
+        loc = np.zeros((comps, bx + 2, bz + 2))
+        loc[:, 1:-1, 1:-1] = global_field[
+            :, cx * bx : (cx + 1) * bx, cz * bz : (cz + 1) * bz
+        ]
+        timer = ExchangeTimer()
+        exchange_ghosts(cart, loc, 2, spec, timer=timer)
+        return loc, timer.bytes, (cx, cz)
+
+    results = run_spmd(n, fn)
+    for loc, nbytes, (cx, cz) in results:
+        assert nbytes > 0
+        # compare the block's ghosted view against the global reference:
+        # global ghosted coordinates of block interior start
+        gx = cx * bx
+        gz = cz * bz
+        expected = ref2[:, gx : gx + bx + 2, gz : gz + bz + 2]
+        # interior rows of expected come straight from ref2's interior;
+        # but interior-of-domain ghosts are neighbour values, which ref2
+        # does not hold at interior cuts -- so compare against the plain
+        # periodic-padded global field where possible
+        full = np.zeros_like(ref2)
+        full[:, 1:-1, 1:-1] = global_field
+        apply_boundaries(full, spec)
+        # fill the periodic wrap of x explicitly on full
+        full[:, 0, 1:-1] = global_field[:, -1, :]
+        full[:, -1, 1:-1] = global_field[:, 0, :]
+        exp = full[:, gx : gx + bx + 2, gz : gz + bz + 2]
+        np.testing.assert_allclose(loc[:, 1:-1, 1:-1], exp[:, 1:-1, 1:-1])
+        # face ghosts along x (periodic or neighbour)
+        np.testing.assert_allclose(loc[:, 0, 1:-1], np.take(
+            global_field, (gx - 1) % shape[0], axis=1)[:, gz : gz + bz])
+        np.testing.assert_allclose(loc[:, -1, 1:-1], np.take(
+            global_field, (gx + bx) % shape[0], axis=1)[:, gz : gz + bz])
+
+
+def test_corner_ghosts_consistent():
+    """Edge/corner ghost cells must carry the diagonal neighbour's data
+    (required by the D3C19 accesses)."""
+    shape = (6, 6)
+    field = _global_field(shape, comps=1, seed=4)
+    spec = BoundarySpec.directional(2)
+
+    def fn(comm):
+        cart = CartComm(comm, (2, 2), (True, False))
+        cx, cz = cart.coords()
+        loc = np.zeros((1, 5, 5))
+        loc[:, 1:-1, 1:-1] = field[:, cx * 3 : cx * 3 + 3, cz * 3 : cz * 3 + 3]
+        exchange_ghosts(cart, loc, 2, spec)
+        return loc, (cx, cz)
+
+    results = run_spmd(4, fn)
+    loc, coords = results[0]  # block (0, 0)
+    assert coords == (0, 0)
+    # its top-right corner ghost = global cell (3, 3) (diagonal neighbour)
+    assert loc[0, -1, -1] == pytest.approx(field[0, 3, 3])
+
+
+def test_timer_accumulates():
+    def fn(comm):
+        cart = CartComm(comm, (2,), (True,))
+        loc = np.zeros((1, 6))
+        loc[0, 1:-1] = comm.rank
+        timer = ExchangeTimer()
+        spec = BoundarySpec(handlers=((Neumann(), Neumann()),))
+        # periodic axis: neighbours exist, handlers unused
+        exchange_ghosts(cart, loc, 1, spec, timer=timer)
+        exchange_ghosts(cart, loc, 1, spec, timer=timer)
+        return timer
+
+    timers = run_spmd(2, fn)
+    assert timers[0].messages == 4
+    assert timers[0].seconds > 0

@@ -1,0 +1,49 @@
+"""Tests of the double-buffered ghosted field."""
+
+import numpy as np
+import pytest
+
+from repro.grid.field import Field
+
+
+class TestField:
+    def test_shapes(self):
+        f = Field(4, (5, 6, 7))
+        assert f.src.shape == (4, 7, 8, 9)
+        assert f.interior_src.shape == (4, 5, 6, 7)
+        assert f.dim == 3
+        assert f.ghosted_shape == (7, 8, 9)
+
+    def test_swap_is_pointer_exchange(self):
+        f = Field(1, (3, 3))
+        f.src[...] = 1.0
+        f.dst[...] = 2.0
+        src_id = id(f.src)
+        f.swap()
+        assert id(f.dst) == src_id
+        np.testing.assert_allclose(f.src, 2.0)
+
+    def test_set_interior(self):
+        f = Field(2, (3, 4))
+        vals = np.arange(24, dtype=float).reshape(2, 3, 4)
+        f.set_interior(vals)
+        np.testing.assert_array_equal(f.interior_src, vals)
+        # ghosts untouched
+        assert f.src[0, 0, 0] == 0.0
+
+    def test_copy_independent(self):
+        f = Field(1, (3, 3))
+        f.src[...] = 5.0
+        g = f.copy()
+        g.src[...] = 7.0
+        np.testing.assert_allclose(f.src, 5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="component"):
+            Field(0, (3, 3))
+        with pytest.raises(ValueError, match="spatial"):
+            Field(1, (3, 0))
+
+    def test_dtype_control(self):
+        f = Field(1, (2, 2), dtype=np.float32)
+        assert f.src.dtype == np.float32

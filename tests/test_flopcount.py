@@ -1,0 +1,102 @@
+"""Tests of the dynamic FLOP-counting instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.perf.flopcount import CountingArray, FlopCounter, _einsum_cost
+
+
+class TestUfuncCounting:
+    def test_add_counts_elementwise(self):
+        c = FlopCounter()
+        a = CountingArray.wrap(np.ones((3, 4)), c)
+        _ = a + a
+        assert c.counts["add"] == 12
+
+    def test_kind_classification(self):
+        c = FlopCounter()
+        a = CountingArray.wrap(np.full(5, 2.0), c)
+        _ = a * a
+        _ = a / a
+        _ = np.sqrt(a)
+        _ = a - a
+        assert c.counts["mul"] == 5
+        assert c.counts["div"] == 5
+        assert c.counts["sqrt"] == 5
+        assert c.counts["add"] == 5
+
+    def test_flops_total(self):
+        c = FlopCounter()
+        a = CountingArray.wrap(np.ones(10), c)
+        _ = a + a
+        _ = a * a
+        _ = np.maximum(a, 0.0)  # cmp: not a FLOP
+        assert c.flops() == 20
+
+    def test_mixed_plain_and_counting(self):
+        c = FlopCounter()
+        a = CountingArray.wrap(np.ones(7), c)
+        b = np.ones(7)
+        out = a + b
+        assert isinstance(out, CountingArray)
+        assert c.counts["add"] == 7
+
+    def test_views_propagate_counter(self):
+        c = FlopCounter()
+        a = CountingArray.wrap(np.ones((4, 4)), c)
+        v = a[1:3]
+        _ = v * 2.0
+        assert c.counts["mul"] == 8
+
+    def test_inplace_ops(self):
+        c = FlopCounter()
+        a = CountingArray.wrap(np.ones(6), c)
+        a += 1.0
+        assert c.counts["add"] == 6
+
+    def test_reset_and_summary(self):
+        c = FlopCounter()
+        a = CountingArray.wrap(np.ones(3), c)
+        _ = a + a
+        assert c.summary()["flops"] == 3
+        c.reset()
+        assert c.flops() == 0
+
+
+class TestEinsumCounting:
+    def test_matvec_cost(self):
+        muls, adds = _einsum_cost("ij,j->i", [np.ones((3, 4)), np.ones(4)])
+        assert muls == 12
+        assert adds == 12 - 3
+
+    def test_ellipsis_cost(self):
+        ops = [np.ones((5, 2, 2)), np.ones((2, 7, 8))]
+        muls, adds = _einsum_cost("aij,j...->ai...", ops)
+        # indices a=5, i=2, j=2; ellipsis (7,8)
+        assert muls == 5 * 2 * 2 * 7 * 8
+
+    def test_einsum_through_array_function(self):
+        c = FlopCounter()
+        a = CountingArray.wrap(np.ones((3, 3)), c)
+        out = np.einsum("ij,jk->ik", a, a)
+        assert isinstance(out, CountingArray)
+        assert c.counts["mul"] == 27
+
+
+class TestFunctionPassthrough:
+    def test_sort_and_stack_keep_working(self):
+        c = FlopCounter()
+        a = CountingArray.wrap(np.array([3.0, 1.0, 2.0]), c)
+        s = np.sort(a)
+        np.testing.assert_allclose(np.asarray(s), [1.0, 2.0, 3.0])
+        st = np.stack([a, a])
+        assert st.shape == (2, 3)
+
+    def test_correct_numerics_under_counting(self):
+        """Instrumentation must not change results."""
+        c = FlopCounter()
+        x = np.linspace(0, 1, 11)
+        cx = CountingArray.wrap(x.copy(), c)
+        plain = np.sqrt(x * x + 1.0) / 2.0
+        counted = np.sqrt(cx * cx + 1.0) / 2.0
+        np.testing.assert_allclose(np.asarray(counted), plain)

@@ -1,0 +1,119 @@
+"""Tests of the gradient energy functional and its variational terms."""
+
+import numpy as np
+import pytest
+
+from repro.core import gradient_energy as ge
+from repro.core.scenarios import fill_ghosts_periodic
+
+
+@pytest.fixture
+def gamma():
+    g = np.full((3, 3), 0.02)
+    np.fill_diagonal(g, 0.0)
+    return g
+
+
+def smooth_field(shape, n_phases=3, seed=0):
+    """Periodic smooth simplex field with ghost layers."""
+    rng = np.random.default_rng(seed)
+    grids = np.meshgrid(*[np.arange(s, dtype=float) for s in shape], indexing="ij")
+    phi = np.empty((n_phases,) + shape)
+    for a in range(n_phases):
+        f = np.zeros(shape)
+        for g, s in zip(grids, shape):
+            f += np.sin(2 * np.pi * g / s + rng.uniform(0, np.pi))
+        phi[a] = 1.0 + 0.3 * f
+    phi /= phi.sum(axis=0)
+    ghosted = np.zeros((n_phases,) + tuple(s + 2 for s in shape))
+    ghosted[(slice(None),) + tuple(slice(1, -1) for _ in shape)] = phi
+    fill_ghosts_periodic(ghosted, len(shape))
+    return ghosted
+
+
+class TestEnergyDensity:
+    def test_zero_for_uniform_field(self, gamma):
+        phi = np.zeros((3, 6, 6, 6))
+        phi[0] = 1.0
+        np.testing.assert_allclose(ge.energy_density(phi, gamma, 3, 1.0), 0.0)
+
+    def test_positive_for_interface(self, gamma):
+        phi = smooth_field((6, 6, 6))
+        w = ge.energy_density(phi, gamma, 3, 1.0)
+        assert w.min() >= 0.0
+        assert w.max() > 0.0
+
+    def test_antisymmetry_invariance(self, gamma):
+        """Energy is symmetric under swapping two phases (equal gammas)."""
+        phi = smooth_field((6, 6, 6))
+        w1 = ge.energy_density(phi, gamma, 3, 1.0)
+        w2 = ge.energy_density(phi[[1, 0, 2]], gamma, 3, 1.0)
+        np.testing.assert_allclose(w1, w2, atol=1e-12)
+
+
+class TestVariationalDerivative:
+    def test_converges_to_energy_gradient(self, gamma):
+        """<delta a/delta phi, v> converges to the Gateaux derivative of
+        the total energy under mesh refinement.
+
+        The energy density uses centred gradients while the divergence
+        term uses face fluxes, so the identity holds in the continuum
+        limit (not cell-exactly): the relative error must shrink with dx.
+        """
+
+        def rel_error(n):
+            shape = (n, n)
+            dx = 1.0 / n
+            phi2 = smooth_field(shape, seed=3)
+            grids = np.meshgrid(*[np.arange(n) for _ in range(2)], indexing="ij")
+            v = 0.01 * np.stack([
+                np.sin(2 * np.pi * (grids[0] + a) / n) for a in range(3)
+            ])
+            v_ghost = np.zeros_like(phi2)
+            v_ghost[(slice(None), slice(1, -1), slice(1, -1))] = v
+            fill_ghosts_periodic(v_ghost, 2)
+
+            def total_energy(field):
+                return ge.energy_density(field, gamma, 2, dx).sum() * dx * dx
+
+            eps = 1e-6
+            numeric = (
+                total_energy(phi2 + eps * v_ghost)
+                - total_energy(phi2 - eps * v_ghost)
+            ) / (2 * eps)
+            var = ge.variational_term(phi2, gamma, 2, dx)
+            analytic = float((var * v).sum()) * dx * dx
+            return abs(analytic - numeric) / max(abs(numeric), 1e-30)
+
+        errs = [rel_error(n) for n in (8, 16, 32)]
+        assert errs[2] < errs[0]
+        assert errs[2] < 0.05
+
+    def test_zero_in_bulk(self, gamma):
+        phi = np.zeros((3, 5, 5, 5))
+        phi[1] = 1.0
+        var = ge.variational_term(phi, gamma, 3, 1.0)
+        np.testing.assert_allclose(var, 0.0, atol=1e-12)
+
+    def test_divergence_term_shape(self, gamma):
+        phi = smooth_field((4, 5, 6))
+        div = ge.divergence_term(phi, gamma, 3, 1.0)
+        assert div.shape == (3, 4, 5, 6)
+
+    def test_swap_symmetry_and_absent_phase(self, gamma):
+        """For equal gammas the functional is symmetric under swapping two
+        phases, and an absent phase (phi = 0 with zero gradient) feels no
+        gradient-energy force."""
+        zc = np.arange(8, dtype=float)
+        prof = 0.5 * (1 + np.tanh((zc - 4) / 2))
+        phi = np.zeros((3, 10, 10))
+        phi[0, 1:-1, 1:-1] = prof[None, :]
+        phi[1, 1:-1, 1:-1] = 1 - prof[None, :]
+        fill_ghosts_periodic(phi, 2)
+        var = ge.variational_term(phi, gamma, 2, 1.0)
+        # phase 2 is absent: its force must vanish
+        np.testing.assert_allclose(var[2], 0.0, atol=1e-12)
+        # swapping phases 0 and 1 swaps their forces
+        var_sw = ge.variational_term(phi[[1, 0, 2]], gamma, 2, 1.0)
+        np.testing.assert_allclose(var[0], var_sw[1], atol=1e-12)
+        np.testing.assert_allclose(var[1], var_sw[0], atol=1e-12)

@@ -1,0 +1,159 @@
+"""Tests of the semi-implicit (IMEX) mu update."""
+
+import numpy as np
+import pytest
+
+from repro.core.imex import (
+    default_dbar,
+    implicit_diffusion_solve,
+    semi_implicit_mu_step,
+)
+from repro.core.kernels import get_mu_kernel, get_phi_kernel, make_context
+from repro.core.scenarios import fill_ghosts_periodic, make_scenario
+from repro.core.stencils import laplacian
+
+
+class TestImplicitSolve:
+    def test_identity_at_zero_coefficient(self):
+        rng = np.random.default_rng(0)
+        rhs = rng.normal(size=(2, 6, 8))
+        out = implicit_diffusion_solve(rhs, 0.0, 1.0)
+        np.testing.assert_allclose(out, rhs, atol=1e-12)
+
+    def test_solves_helmholtz_3d(self):
+        """(1 - c lap) u = rhs must hold for the 7-point Laplacian with
+        periodic x/y and Neumann z ghosts."""
+        rng = np.random.default_rng(1)
+        shape = (6, 5, 8)
+        rhs = rng.normal(size=(1,) + shape)
+        c = 0.37
+        u = implicit_diffusion_solve(rhs, c, 1.0)
+        # apply the operator with matching ghost conventions
+        g = np.zeros((1,) + tuple(s + 2 for s in shape))
+        g[(slice(None),) + (slice(1, -1),) * 3] = u
+        fill_ghosts_periodic(g, 3)
+        # overwrite z ghosts with Neumann mirror
+        g[..., 0] = g[..., 1]
+        g[..., -1] = g[..., -2]
+        lap = laplacian(g[0], 3, 1.0)
+        np.testing.assert_allclose(u[0] - c * lap, rhs[0], atol=1e-10)
+
+    def test_preserves_mean(self):
+        """The zero mode is untouched: total solute conserved."""
+        rng = np.random.default_rng(2)
+        rhs = rng.normal(size=(2, 8, 8))
+        out = implicit_diffusion_solve(rhs, 1.5, 1.0)
+        np.testing.assert_allclose(out.mean(axis=(1, 2)), rhs.mean(axis=(1, 2)),
+                                   atol=1e-12)
+
+    def test_damps_high_frequencies(self):
+        x = np.arange(16)
+        rhs = np.sin(np.pi * x / 1.0)[None, :, None] * np.ones((1, 16, 8))
+        rhs = rhs + 1.0
+        out = implicit_diffusion_solve(rhs, 5.0, 1.0)
+        assert np.std(out) < np.std(rhs)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    phi, mu, tg, system, params = make_scenario("interface", (6, 6, 12), seed=4)
+    ctx = make_context(system, params)
+    phi_dst = phi.copy()
+    phi_dst[(slice(None),) + (slice(1, -1),) * 3] = get_phi_kernel("buffered")(
+        ctx, phi, mu, tg
+    )
+    fill_ghosts_periodic(phi_dst, 3)
+    return ctx, phi, phi_dst, mu, tg, tg - 0.01
+
+
+class TestSemiImplicitStep:
+    def test_reduces_to_explicit_at_dbar_zero(self, setup):
+        ctx, phi, phi_dst, mu, t_old, t_new = setup
+        exp = get_mu_kernel("shortcut")(ctx, mu, phi, phi_dst, t_old, t_new)
+        imex = semi_implicit_mu_step(
+            ctx, mu, phi, phi_dst, t_old, t_new, dbar=0.0
+        )
+        np.testing.assert_allclose(imex, exp, atol=1e-12)
+
+    def test_consistent_for_small_dt(self, setup):
+        """IMEX and explicit agree to O(dt^2) per step."""
+        ctx, phi, phi_dst, mu, t_old, t_new = setup
+        small = ctx.params.with_(dt=ctx.params.dt / 50)
+        ctx_small = make_context(ctx.system, small)
+        exp = get_mu_kernel("buffered")(ctx_small, mu, phi, phi_dst, t_old, t_new)
+        imex = semi_implicit_mu_step(
+            ctx_small, mu, phi, phi_dst, t_old, t_new
+        )
+        dmu = np.abs(exp - mu[(slice(None),) + (slice(1, -1),) * 3]).max()
+        np.testing.assert_allclose(imex, exp, atol=0.05 * dmu + 1e-12)
+
+    def test_default_dbar(self, setup):
+        ctx = setup[0]
+        assert default_dbar(ctx) == pytest.approx(float(np.max(ctx.diff)))
+
+    def test_stable_beyond_explicit_limit(self, setup):
+        """At 10x the diffusive stability limit the explicit update blows
+        up on a rough field while the IMEX update stays bounded."""
+        ctx, phi, phi_dst, mu, t_old, t_new = setup
+        rng = np.random.default_rng(5)
+        rough = mu + 0.5 * rng.normal(size=mu.shape)
+        fill_ghosts_periodic(rough, 3)
+        d_max = float(np.max(ctx.diff))
+        dt_unstable = 10.0 * ctx.params.dx**2 / (2 * 3 * d_max)
+        ctx_big = make_context(ctx.system, ctx.params.with_(dt=dt_unstable))
+
+        mu_exp = rough.copy()
+        mu_imex = rough.copy()
+        for _ in range(12):
+            upd = get_mu_kernel("buffered")(
+                ctx_big, mu_exp, phi, phi_dst, t_old, t_new
+            )
+            mu_exp[(slice(None),) + (slice(1, -1),) * 3] = upd
+            fill_ghosts_periodic(mu_exp, 3)
+            upd = semi_implicit_mu_step(
+                ctx_big, mu_imex, phi, phi_dst, t_old, t_new, shortcuts=False
+            )
+            mu_imex[(slice(None),) + (slice(1, -1),) * 3] = upd
+            fill_ghosts_periodic(mu_imex, 3)
+        amp_exp = np.abs(mu_exp).max()
+        amp_imex = np.abs(mu_imex).max()
+        assert amp_imex < 10.0  # bounded
+        assert amp_exp > 10.0 * amp_imex  # explicit diverged
+
+
+class TestSimulationIntegration:
+    def test_imex_simulation_runs_at_large_dt(self):
+        """Simulation(imex=True) stays bounded at 5x the explicit dt."""
+        from repro.core.solver import Simulation
+        from repro.thermo.system import TernaryEutecticSystem
+        from repro.core.parameters import PhaseFieldParameters
+
+        system = TernaryEutecticSystem()
+        params = PhaseFieldParameters.for_system(system, dim=3)
+        big = params.with_(dt=5.0 * params.dt)
+        sim = Simulation(shape=(6, 6, 12), system=system, params=big, imex=True)
+        sim.initialize_voronoi(seed=1, n_seeds=4)
+        sim.step(20)
+        assert np.isfinite(sim.mu.src).all()
+        assert np.abs(sim.mu.interior_src).max() < 50.0
+
+    def test_imex_matches_explicit_at_small_dt(self):
+        from repro.core.solver import Simulation
+        from repro.thermo.system import TernaryEutecticSystem
+        from repro.core.parameters import PhaseFieldParameters
+
+        system = TernaryEutecticSystem()
+        params = PhaseFieldParameters.for_system(system, dim=3, dt_safety=0.01)
+        kw = dict(shape=(5, 5, 10), system=system, params=params)
+        a = Simulation(imex=False, **kw)
+        b = Simulation(imex=True, **kw)
+        a.initialize_voronoi(seed=2, n_seeds=3)
+        b.initialize_voronoi(seed=2, n_seeds=3)
+        a.step(5)
+        b.step(5)
+        np.testing.assert_allclose(
+            b.mu.interior_src, a.mu.interior_src, atol=2e-3
+        )
+        np.testing.assert_allclose(
+            b.phi.interior_src, a.phi.interior_src, atol=1e-4
+        )

@@ -1,0 +1,76 @@
+"""Property tests of the Moelans interpolation functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interpolation import linear_g, moelans_dh, moelans_h
+
+weights = st.lists(st.floats(0.0, 1.0), min_size=4, max_size=4).filter(
+    lambda w: sum(w) > 0.05
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(w=weights)
+def test_partition_of_unity(w):
+    h = moelans_h(np.asarray(w))
+    assert h.sum() == pytest.approx(1.0, abs=1e-9)
+    assert h.min() >= 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(w=weights)
+def test_jacobian_matches_finite_difference(w):
+    phi = np.asarray(w)
+    dh = moelans_dh(phi)
+    eps = 1e-7
+    for a in range(4):
+        d = np.zeros(4)
+        d[a] = eps
+        num = (moelans_h(phi + d) - moelans_h(phi - d)) / (2 * eps)
+        np.testing.assert_allclose(dh[a], num, atol=1e-5)
+
+
+class TestBulkStates:
+    def test_pure_phase_weight(self):
+        phi = np.array([0.0, 1.0, 0.0, 0.0])
+        h = moelans_h(phi)
+        np.testing.assert_allclose(h, phi, atol=1e-12)
+
+    def test_pure_phase_has_zero_jacobian(self):
+        """dh/dphi vanishes at bulk states — the basis of the phi shortcut."""
+        phi = np.array([1.0, 0.0, 0.0, 0.0])
+        np.testing.assert_allclose(moelans_dh(phi), 0.0, atol=1e-12)
+
+    def test_symmetric_state(self):
+        phi = np.full(4, 0.25)
+        np.testing.assert_allclose(moelans_h(phi), 0.25)
+
+
+class TestFieldShapes:
+    def test_h_field(self):
+        rng = np.random.default_rng(0)
+        phi = rng.uniform(0.1, 1.0, size=(4, 3, 5))
+        h = moelans_h(phi)
+        assert h.shape == phi.shape
+        np.testing.assert_allclose(h.sum(axis=0), 1.0)
+
+    def test_dh_field(self):
+        rng = np.random.default_rng(1)
+        phi = rng.uniform(0.1, 1.0, size=(4, 2, 2))
+        dh = moelans_dh(phi)
+        assert dh.shape == (4, 4, 2, 2)
+        single = moelans_dh(phi[:, 1, 0])
+        np.testing.assert_allclose(dh[:, :, 1, 0], single, atol=1e-12)
+
+
+class TestLinearG:
+    def test_identity_inside(self):
+        phi = np.array([0.2, 0.8])
+        np.testing.assert_allclose(linear_g(phi), phi)
+
+    def test_clips_outside(self):
+        phi = np.array([-0.1, 1.4])
+        np.testing.assert_allclose(linear_g(phi), [0.0, 1.0])

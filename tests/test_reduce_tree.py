@@ -1,0 +1,71 @@
+"""Tests of the log2(P) pairwise reduction schedule."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simmpi import run_spmd
+from repro.simmpi.reduce_tree import reduction_rounds, run_pairwise_reduction
+
+
+class TestSchedule:
+    def test_power_of_two(self):
+        rounds = reduction_rounds(8)
+        assert len(rounds) == 3
+        assert rounds[0] == [(0, 1), (2, 3), (4, 5), (6, 7)]
+        assert rounds[1] == [(0, 2), (4, 6)]
+        assert rounds[2] == [(0, 4)]
+
+    def test_single_rank(self):
+        assert reduction_rounds(1) == []
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            reduction_rounds(0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(1, 200))
+    def test_every_rank_reduced_exactly_once(self, n):
+        """Each rank > 0 sends exactly once; everything funnels to 0."""
+        senders = []
+        for pairs in reduction_rounds(n):
+            for recv, send in pairs:
+                assert recv < send
+                senders.append(send)
+        assert sorted(senders) == list(range(1, n))
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(2, 128))
+    def test_log_round_count(self, n):
+        import math
+
+        assert len(reduction_rounds(n)) == math.ceil(math.log2(n))
+
+    def test_half_participation(self):
+        """In each round at most half of the remaining ranks send."""
+        rounds = reduction_rounds(16)
+        active = 16
+        for pairs in rounds:
+            assert len(pairs) <= active // 2
+            active -= len(pairs)
+
+
+class TestExecution:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 6, 8, 11])
+    def test_concatenation_reduction(self, n):
+        def fn(comm):
+            return run_pairwise_reduction(comm, [comm.rank], lambda a, b: a + b)
+
+        res = run_spmd(n, fn)
+        assert sorted(res[0]) == list(range(n))
+        assert all(r is None for r in res[1:])
+
+    def test_combine_order_preserved(self):
+        """Receivers combine their own value first (left operand)."""
+        def fn(comm):
+            return run_pairwise_reduction(
+                comm, str(comm.rank), lambda a, b: f"({a}+{b})"
+            )
+
+        res = run_spmd(4, fn)
+        assert res[0] == "((0+1)+(2+3))"

@@ -1,0 +1,73 @@
+"""Tests of the region classification (bulk/interface/front)."""
+
+import numpy as np
+import pytest
+
+from repro.core.regions import classify, front_position
+
+
+def three_zone_field(nz=12, n=4, ell=3):
+    """Solid below, diffuse band, liquid above; shape (n, 1, nz)."""
+    phi = np.zeros((n, 1, nz))
+    lf = np.clip((np.arange(nz) - 4) / 4.0, 0.0, 1.0)
+    phi[ell, 0] = lf
+    phi[0, 0] = 1.0 - lf
+    return phi
+
+
+class TestClassify:
+    def test_partition(self):
+        phi = three_zone_field()
+        m = classify(phi, liquid_index=3)
+        total = m.interface | m.liquid | m.solid
+        assert total.all()
+        assert not (m.liquid & m.solid).any()
+        assert not (m.interface & m.liquid).any()
+
+    def test_front_subset_of_interface(self):
+        phi = three_zone_field()
+        m = classify(phi, liquid_index=3)
+        assert (m.front <= m.interface).all()
+        assert m.front.any()
+
+    def test_counts(self):
+        phi = three_zone_field()
+        c = classify(phi, liquid_index=3).counts()
+        assert c["interface"] == 3  # lf in (0,1) strictly: z=5..7
+        assert c["solid"] == 5
+        assert c["liquid"] == 4
+
+    def test_pure_liquid(self):
+        phi = np.zeros((4, 2, 5))
+        phi[3] = 1.0
+        m = classify(phi, liquid_index=3)
+        assert m.liquid.all()
+        assert not m.interface.any()
+
+    def test_bulk_property(self):
+        phi = three_zone_field()
+        m = classify(phi, liquid_index=3)
+        np.testing.assert_array_equal(m.bulk, ~m.interface)
+
+
+class TestFrontPosition:
+    def test_sharp_front(self):
+        phi = np.zeros((2, 3, 10))
+        phi[1] = 1.0  # all liquid
+        phi[1, :, :4] = 0.0
+        phi[0, :, :4] = 1.0
+        assert front_position(phi, liquid_index=1) == pytest.approx(3.0)
+
+    def test_all_liquid_returns_sentinel(self):
+        phi = np.zeros((2, 3, 10))
+        phi[1] = 1.0
+        assert front_position(phi, liquid_index=1) == -1.0
+
+    def test_mixed_columns(self):
+        phi = np.zeros((2, 2, 10))
+        phi[1] = 1.0
+        phi[1, 0, :3] = 0.0
+        phi[0, 0, :3] = 1.0
+        phi[1, 1, :5] = 0.0
+        phi[0, 1, :5] = 1.0
+        assert front_position(phi, liquid_index=1) == pytest.approx((2 + 4) / 2)

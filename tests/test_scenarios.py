@@ -1,0 +1,84 @@
+"""Tests of the benchmark scenario builder."""
+
+import numpy as np
+import pytest
+
+from repro.core.regions import classify
+from repro.core.scenarios import SCENARIOS, fill_ghosts_periodic, make_scenario
+from repro.core.simplex import in_simplex
+
+
+class TestMakeScenario:
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            make_scenario("plasma", (4, 4, 4))
+
+    def test_dim_mismatch_raises(self):
+        from repro.core.parameters import PhaseFieldParameters
+        from repro.thermo.system import TernaryEutecticSystem
+
+        system = TernaryEutecticSystem()
+        p2 = PhaseFieldParameters.for_system(system, dim=2)
+        with pytest.raises(ValueError, match="dim"):
+            make_scenario("liquid", (4, 4, 4), system, p2)
+
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_simplex_everywhere(self, name):
+        phi, mu, tg, system, params = make_scenario(name, (6, 6, 8))
+        assert in_simplex(phi.reshape(4, -1), tol=1e-9).all()
+
+    def test_liquid_is_pure_melt(self):
+        phi, mu, tg, system, params = make_scenario("liquid", (5, 5, 6))
+        interior = phi[(slice(None),) + (slice(1, -1),) * 3]
+        np.testing.assert_allclose(interior[system.liquid_index], 1.0)
+
+    def test_solid_has_no_melt(self):
+        phi, mu, tg, system, params = make_scenario(
+            "solid", (24, 6, 6), lamella_width=2
+        )
+        interior = phi[(slice(None),) + (slice(1, -1),) * 3]
+        np.testing.assert_allclose(interior[system.liquid_index], 0.0)
+        # all three solids present (lamellae)
+        for s in system.phase_set.solid_indices:
+            assert interior[s].max() == 1.0
+
+    def test_interface_has_front(self):
+        phi, mu, tg, system, params = make_scenario("interface", (6, 6, 12))
+        interior = phi[(slice(None),) + (slice(1, -1),) * 3]
+        masks = classify(interior, system.liquid_index)
+        assert masks.front.any()
+        assert masks.liquid.any()
+        assert masks.solid.any()
+
+    def test_temperature_gradient_and_undercooling(self):
+        phi, mu, tg, system, params = make_scenario(
+            "interface", (4, 4, 10), undercooling=3.0
+        )
+        assert len(tg) == 12  # nz + 2 ghost slices
+        assert np.all(np.diff(tg) > 0)  # warmer towards the melt
+        mid = tg[len(tg) // 2]
+        assert mid == pytest.approx(system.t_eutectic - 3.0, abs=0.5)
+
+    def test_2d_scenario(self):
+        phi, mu, tg, system, params = make_scenario("interface", (8, 12))
+        assert phi.shape == (4, 10, 14)
+        assert params.dim == 2
+
+
+class TestFillGhostsPeriodic:
+    def test_wraps_all_axes(self):
+        rng = np.random.default_rng(0)
+        a = np.zeros((2, 5, 6))
+        a[:, 1:-1, 1:-1] = rng.normal(size=(2, 3, 4))
+        fill_ghosts_periodic(a, 2)
+        np.testing.assert_array_equal(a[:, 0, 1:-1], a[:, -2, 1:-1])
+        np.testing.assert_array_equal(a[:, -1, 1:-1], a[:, 1, 1:-1])
+        np.testing.assert_array_equal(a[:, 1:-1, 0], a[:, 1:-1, -2])
+
+    def test_corners_propagate(self):
+        a = np.zeros((4, 4))
+        a[1:-1, 1:-1] = [[1.0, 2.0], [3.0, 4.0]]
+        fill_ghosts_periodic(a, 2)
+        # corner ghost equals the diagonally opposite interior cell
+        assert a[0, 0] == 4.0
+        assert a[-1, -1] == 1.0

@@ -1,0 +1,98 @@
+"""Property tests of the Gibbs-simplex projection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.simplex import in_simplex, project_simplex, project_simplex_field
+
+vec4 = st.lists(st.floats(-3, 3), min_size=4, max_size=4)
+
+
+class TestSingleVector:
+    def test_identity_on_simplex(self):
+        v = np.array([0.2, 0.3, 0.1, 0.4])
+        np.testing.assert_allclose(project_simplex(v), v, atol=1e-12)
+
+    def test_vertex_stays(self):
+        v = np.array([0.0, 1.0, 0.0, 0.0])
+        np.testing.assert_allclose(project_simplex(v), v, atol=1e-12)
+
+    def test_negative_clipped(self):
+        v = np.array([1.1, -0.1, 0.0, 0.0])
+        p = project_simplex(v)
+        assert p.min() >= 0.0
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError, match="1-D"):
+            project_simplex(np.zeros((2, 2)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(v=vec4)
+def test_projection_lands_on_simplex(v):
+    p = project_simplex(np.asarray(v))
+    assert p.min() >= -1e-12
+    assert p.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(v=vec4)
+def test_projection_idempotent(v):
+    p = project_simplex(np.asarray(v))
+    np.testing.assert_allclose(project_simplex(p), p, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(v=vec4, w=vec4)
+def test_projection_is_nearest_point(v, w):
+    """No simplex point is closer to v than its projection."""
+    v = np.asarray(v)
+    p = project_simplex(v)
+    q = project_simplex(np.asarray(w))  # arbitrary other simplex point
+    assert np.linalg.norm(v - p) <= np.linalg.norm(v - q) + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(v=vec4)
+def test_field_matches_single(v):
+    v = np.asarray(v)
+    field = np.tile(v.reshape(4, 1, 1), (1, 2, 3))
+    out = project_simplex_field(field)
+    expected = project_simplex(v)
+    for idx in np.ndindex(2, 3):
+        np.testing.assert_allclose(out[(slice(None),) + idx], expected, atol=1e-12)
+
+
+class TestFieldVariant:
+    def test_inplace_output(self):
+        rng = np.random.default_rng(0)
+        f = rng.normal(size=(4, 3, 3))
+        out = project_simplex_field(f, out=f)
+        assert out is f
+        assert in_simplex(f).all()
+
+    def test_mixed_cells(self):
+        f = np.stack([
+            np.array([[1.5, 0.25]]),
+            np.array([[-0.5, 0.25]]),
+            np.array([[0.0, 0.25]]),
+            np.array([[0.0, 0.25]]),
+        ])
+        out = project_simplex_field(f)
+        assert in_simplex(out).all()
+        # already-feasible cell untouched
+        np.testing.assert_allclose(out[:, 0, 1], 0.25)
+
+
+class TestInSimplex:
+    def test_accepts_interior(self):
+        assert in_simplex(np.array([0.5, 0.5]).reshape(2, 1))[0]
+
+    def test_rejects_negative(self):
+        assert not in_simplex(np.array([1.2, -0.2]).reshape(2, 1))[0]
+
+    def test_rejects_bad_sum(self):
+        assert not in_simplex(np.array([0.7, 0.7]).reshape(2, 1))[0]

@@ -1,0 +1,90 @@
+"""Tests of the quadric-error edge-collapse simplification."""
+
+import numpy as np
+import pytest
+
+from repro.io.marching_cubes import extract_isosurface
+from repro.io.simplify import simplify_mesh
+
+
+@pytest.fixture(scope="module")
+def sphere_mesh():
+    n = 20
+    x, y, z = np.meshgrid(*[np.arange(n, dtype=float)] * 3, indexing="ij")
+    r = np.sqrt((x - n / 2) ** 2 + (y - n / 2) ** 2 + (z - n / 2) ** 2)
+    return extract_isosurface(1.0 / (1.0 + np.exp(r - 6.0)), 0.5)
+
+
+class TestBudget:
+    def test_reaches_target_ratio(self, sphere_mesh):
+        s = simplify_mesh(sphere_mesh, target_ratio=0.4)
+        assert s.n_faces <= int(0.4 * sphere_mesh.n_faces) * 1.05 + 2
+
+    def test_target_faces(self, sphere_mesh):
+        s = simplify_mesh(sphere_mesh, target_faces=300)
+        assert s.n_faces <= 310
+
+    def test_both_targets_rejected(self, sphere_mesh):
+        with pytest.raises(ValueError, match="either"):
+            simplify_mesh(sphere_mesh, target_faces=10, target_ratio=0.5)
+
+    def test_noop_below_target(self, sphere_mesh):
+        s = simplify_mesh(sphere_mesh, target_faces=10 * sphere_mesh.n_faces)
+        assert s.n_faces == sphere_mesh.n_faces
+
+    def test_max_error_stops_early(self, sphere_mesh):
+        s = simplify_mesh(sphere_mesh, target_faces=4, max_error=1e-12)
+        # error bound prevents collapsing down to 4 faces
+        assert s.n_faces > 4
+
+
+class TestQuality:
+    def test_watertightness_preserved(self, sphere_mesh):
+        s = simplify_mesh(sphere_mesh, target_ratio=0.3)
+        assert s.is_watertight()
+        assert s.euler_characteristic() == 2
+
+    def test_area_approximately_preserved(self, sphere_mesh):
+        s = simplify_mesh(sphere_mesh, target_ratio=0.3)
+        assert s.area() == pytest.approx(sphere_mesh.area(), rel=0.03)
+
+    def test_geometry_stays_near_sphere(self, sphere_mesh):
+        s = simplify_mesh(sphere_mesh, target_ratio=0.3)
+        r = np.linalg.norm(s.vertices - 10.0, axis=1)
+        assert abs(r.mean() - 6.0) < 0.5
+
+
+class TestProtection:
+    def test_protected_vertices_unmoved(self, sphere_mesh):
+        protected = np.arange(0, sphere_mesh.n_vertices, 10)
+        coords_before = sphere_mesh.vertices[protected].copy()
+        s = simplify_mesh(
+            sphere_mesh, target_ratio=0.4, protected_vertices=protected
+        )
+        # every protected coordinate still exists among output vertices
+        out = {tuple(np.round(v, 9)) for v in s.vertices}
+        for c in coords_before:
+            assert tuple(np.round(c, 9)) in out
+
+    def test_open_boundary_shape_preserved(self):
+        """A flat open sheet keeps its outline (boundary quadrics)."""
+        n = 12
+        v = []
+        f = []
+        for i in range(n):
+            for j in range(n):
+                v.append([i, j, 0.0])
+        for i in range(n - 1):
+            for j in range(n - 1):
+                a = i * n + j
+                f.append([a, a + 1, a + n])
+                f.append([a + 1, a + n + 1, a + n])
+        from repro.io.mesh import TriangleMesh
+
+        sheet = TriangleMesh(np.array(v, dtype=float), np.array(f))
+        s = simplify_mesh(sheet, target_ratio=0.2)
+        assert s.n_faces < sheet.n_faces
+        # the sheet outline (bounding square) must survive
+        assert s.vertices[:, 0].min() == pytest.approx(0.0, abs=1e-6)
+        assert s.vertices[:, 0].max() == pytest.approx(n - 1, abs=1e-6)
+        assert np.abs(s.vertices[:, 2]).max() < 1e-6

@@ -1,0 +1,79 @@
+"""Property-based tests of the stencil layer (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import stencils as stc
+from repro.core.scenarios import fill_ghosts_periodic
+
+fields = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(5, 9), st.integers(5, 9)),
+    elements=st.floats(-5, 5, allow_nan=False),
+)
+
+
+def periodic_ghosted(arr: np.ndarray) -> np.ndarray:
+    g = np.zeros(tuple(s + 2 for s in arr.shape))
+    g[tuple(slice(1, -1) for _ in arr.shape)] = arr
+    fill_ghosts_periodic(g, arr.ndim)
+    return g
+
+
+@settings(max_examples=25, deadline=None)
+@given(f=fields)
+def test_periodic_gradient_sums_to_zero(f):
+    """Central differences telescope: the periodic sum of grad is 0."""
+    g = periodic_ghosted(f)
+    grad = stc.grad(g, 2, dx=1.0)
+    np.testing.assert_allclose(grad.sum(axis=(1, 2)), 0.0, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(f=fields)
+def test_periodic_laplacian_sums_to_zero(f):
+    g = periodic_ghosted(f)
+    lap = stc.laplacian(g, 2, dx=1.0)
+    assert abs(lap.sum()) < 1e-8
+
+
+@settings(max_examples=25, deadline=None)
+@given(f=fields)
+def test_laplacian_equals_div_of_face_gradients(f):
+    """div(face_diff) is the 5-point Laplacian — the identity connecting
+    the buffered flux form to the direct stencil."""
+    g = periodic_ghosted(f)
+    fluxes = [stc.face_diff(g, 2, k, 1.0) for k in range(2)]
+    div = stc.div_faces(fluxes, 2, 1.0)
+    lap = stc.laplacian(g, 2, 1.0)
+    np.testing.assert_allclose(div, lap, atol=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(f=fields)
+def test_face_avg_bounded_by_extremes(f):
+    g = periodic_ghosted(f)
+    for k in range(2):
+        avg = stc.face_avg(g, 2, k)
+        assert avg.max() <= g.max() + 1e-12
+        assert avg.min() >= g.min() - 1e-12
+
+
+@settings(max_examples=20, deadline=None)
+@given(f=fields, s=st.integers(-1, 1))
+def test_shifted_consistent_with_roll(f, s):
+    g = periodic_ghosted(f)
+    out = stc.shifted(g, 2, 0, s)
+    expected = np.roll(f, -s, axis=0)
+    np.testing.assert_allclose(out, expected)
+
+
+@settings(max_examples=15, deadline=None)
+@given(f=fields)
+def test_face_grad_constant_field_is_zero(f):
+    g = periodic_ghosted(np.full_like(f, 3.7))
+    for k in range(2):
+        fg = stc.face_grad(g, 2, k, 1.0)
+        np.testing.assert_allclose(fg, 0.0, atol=1e-12)

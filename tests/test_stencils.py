@@ -1,0 +1,143 @@
+"""Unit tests of the finite-difference stencil primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core import stencils as stc
+
+
+def linear_field(shape, coeffs, const=1.0):
+    """a + sum_k c_k x_k on a ghosted grid (ghost width 1)."""
+    grids = np.meshgrid(
+        *[np.arange(-1, s + 1, dtype=float) for s in shape], indexing="ij"
+    )
+    out = np.full(tuple(s + 2 for s in shape), const)
+    for g, c in zip(grids, coeffs):
+        out += c * g
+    return out
+
+
+class TestInterior:
+    def test_strips_ghosts(self):
+        a = np.zeros((3, 6, 7, 8))
+        assert stc.interior(a, 3).shape == (3, 4, 5, 6)
+
+    def test_view_not_copy(self):
+        a = np.zeros((4, 4))
+        stc.interior(a, 2)[...] = 5.0
+        assert a[1, 1] == 5.0
+
+
+class TestShifted:
+    def test_shift_matches_roll(self):
+        a = np.arange(5 * 6, dtype=float).reshape(5, 6)
+        plus = stc.shifted(a, 2, 0, +1)
+        np.testing.assert_allclose(plus, a[2:5, 1:-1])
+
+    def test_shift_beyond_ghost_raises(self):
+        with pytest.raises(ValueError, match="ghost"):
+            stc.shifted(np.zeros((4, 4)), 2, 0, 2)
+
+
+class TestGrad:
+    def test_exact_on_linear_3d(self):
+        shape = (4, 5, 6)
+        coeffs = (2.0, -1.0, 0.5)
+        f = linear_field(shape, coeffs)
+        g = stc.grad(f, 3, dx=1.0)
+        assert g.shape == (3,) + shape
+        for k in range(3):
+            np.testing.assert_allclose(g[k], coeffs[k], atol=1e-12)
+
+    def test_exact_on_linear_2d(self):
+        f = linear_field((5, 7), (3.0, -2.0))
+        g = stc.grad(f, 2, dx=0.5)
+        np.testing.assert_allclose(g[0], 6.0, atol=1e-12)
+        np.testing.assert_allclose(g[1], -4.0, atol=1e-12)
+
+    def test_component_axes_pass_through(self):
+        f = np.stack([linear_field((4, 4), (1.0, 0.0)),
+                      linear_field((4, 4), (0.0, 2.0))])
+        g = stc.grad(f, 2, dx=1.0)
+        assert g.shape == (2, 2, 4, 4)
+        np.testing.assert_allclose(g[0, 0], 1.0)
+        np.testing.assert_allclose(g[1, 1], 2.0)
+
+
+class TestLaplacian:
+    def test_zero_on_linear(self):
+        f = linear_field((5, 5, 5), (1.0, 2.0, 3.0))
+        np.testing.assert_allclose(stc.laplacian(f, 3, 1.0), 0.0, atol=1e-10)
+
+    def test_quadratic(self):
+        shape = (6, 6)
+        grids = np.meshgrid(
+            *[np.arange(-1, s + 1, dtype=float) for s in shape], indexing="ij"
+        )
+        f = grids[0] ** 2 + 2.0 * grids[1] ** 2
+        np.testing.assert_allclose(stc.laplacian(f, 2, 1.0), 6.0, atol=1e-10)
+
+
+class TestFaces:
+    def test_face_diff_shape_and_value(self):
+        f = linear_field((4, 5, 6), (1.0, 0.0, 0.0))
+        d = stc.face_diff(f, 3, 0, dx=1.0)
+        assert d.shape == (5, 5, 6)
+        np.testing.assert_allclose(d, 1.0, atol=1e-12)
+
+    def test_face_avg_on_linear(self):
+        f = linear_field((4, 4), (2.0, 0.0), const=0.0)
+        a = stc.face_avg(f, 2, 0)
+        # faces sit at half-integer positions -0.5 .. 3.5
+        expected = 2.0 * (np.arange(5) - 0.5)
+        np.testing.assert_allclose(a[:, 0], expected, atol=1e-12)
+
+    def test_face_tangential_grad(self):
+        f = linear_field((5, 6), (0.0, 3.0))
+        t = stc.face_tangential_grad(f, 2, 0, 1, dx=1.0)
+        assert t.shape == (6, 6)
+        np.testing.assert_allclose(t, 3.0, atol=1e-12)
+
+    def test_face_tangential_same_axis_raises(self):
+        with pytest.raises(ValueError, match="differ"):
+            stc.face_tangential_grad(np.zeros((4, 4)), 2, 0, 0, 1.0)
+
+    def test_face_grad_components(self):
+        f = linear_field((5, 5, 5), (1.0, 2.0, 3.0))
+        g = stc.face_grad(f, 3, 1, dx=1.0)
+        assert g.shape == (3, 5, 6, 5)
+        np.testing.assert_allclose(g[0], 1.0, atol=1e-12)
+        np.testing.assert_allclose(g[1], 2.0, atol=1e-12)
+        np.testing.assert_allclose(g[2], 3.0, atol=1e-12)
+
+
+class TestDivFaces:
+    def test_constant_flux_has_zero_divergence(self):
+        shape = (4, 5, 6)
+        fluxes = []
+        for k in range(3):
+            fshape = list(shape)
+            fshape[k] += 1
+            fluxes.append(np.ones(fshape))
+        np.testing.assert_allclose(stc.div_faces(fluxes, 3, 1.0), 0.0)
+
+    def test_linear_flux(self):
+        shape = (4, 4)
+        fx = np.arange(5, dtype=float).reshape(5, 1) * np.ones((5, 4))
+        fy = np.zeros((4, 5))
+        div = stc.div_faces([fx, fy], 2, 1.0)
+        np.testing.assert_allclose(div, 1.0)
+
+    def test_wrong_count_raises(self):
+        with pytest.raises(ValueError, match="flux"):
+            stc.div_faces([np.zeros((3, 3))], 2, 1.0)
+
+    def test_divergence_theorem(self):
+        """Sum of interior divergence equals net boundary flux."""
+        rng = np.random.default_rng(7)
+        shape = (5, 6)
+        fx = rng.normal(size=(6, 6))
+        fy = rng.normal(size=(5, 7))
+        div = stc.div_faces([fx, fy], 2, 1.0)
+        net = (fx[-1].sum() - fx[0].sum()) + (fy[:, -1].sum() - fy[:, 0].sum())
+        assert div.sum() == pytest.approx(net, rel=1e-10)

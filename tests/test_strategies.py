@@ -1,0 +1,27 @@
+"""Equivalence of the Fig. 5 vectorization strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import get_phi_kernel, make_context
+from repro.core.kernels.strategies import STRATEGIES
+from repro.core.scenarios import SCENARIOS, make_scenario
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_strategy_matches_buffered(scenario, strategy):
+    phi, mu, tg, system, params = make_scenario(scenario, (5, 5, 11), seed=3)
+    ctx = make_context(system, params)
+    ref = get_phi_kernel("buffered")(ctx, phi, mu, tg)
+    out = get_phi_kernel(strategy)(ctx, phi, mu, tg)
+    np.testing.assert_allclose(out, ref, atol=1e-12)
+
+
+def test_four_cells_handles_ragged_chunks():
+    """nz not divisible by the chunk size must still work."""
+    phi, mu, tg, system, params = make_scenario("interface", (4, 4, 10), seed=1)
+    ctx = make_context(system, params)
+    ref = get_phi_kernel("buffered")(ctx, phi, mu, tg)
+    out = get_phi_kernel("four_cells")(ctx, phi, mu, tg)
+    np.testing.assert_allclose(out, ref, atol=1e-12)

@@ -1,0 +1,57 @@
+"""Tests of the frozen-temperature ansatz."""
+
+import numpy as np
+import pytest
+
+from repro.core.temperature import ConstantTemperature, FrozenTemperature
+
+
+@pytest.fixture
+def frozen():
+    return FrozenTemperature(t_ref=700.0, gradient=0.5, velocity=2.0, z0=10.0, dx=1.0)
+
+
+class TestFrozenTemperature:
+    def test_reference_isotherm_at_t0(self, frozen):
+        # cell centre at z0 = 10 -> index 9.5
+        assert frozen.at_position(0.0, 9.5) == pytest.approx(700.0)
+
+    def test_gradient_along_z(self, frozen):
+        t = frozen.at_time(0.0, 20)
+        np.testing.assert_allclose(np.diff(t), 0.5)
+
+    def test_profile_moves_with_velocity(self, frozen):
+        t0 = frozen.at_time(0.0, 20)
+        t1 = frozen.at_time(1.0, 20)
+        np.testing.assert_allclose(t1, t0 - 0.5 * 2.0)
+
+    def test_dT_dt(self, frozen):
+        assert frozen.dT_dt == pytest.approx(-1.0)
+
+    def test_z_offset_shifts_frame(self, frozen):
+        base = frozen.at_time(0.3, 10, z_offset=0)
+        moved = frozen.at_time(0.3, 10, z_offset=5)
+        np.testing.assert_allclose(moved[:5], base[5:])
+
+    def test_isotherm_position_advances(self, frozen):
+        z0 = frozen.isotherm_position(0.0)
+        z1 = frozen.isotherm_position(2.0)
+        assert z1 - z0 == pytest.approx(4.0)
+
+    def test_isotherm_position_other_temperature(self, frozen):
+        z = frozen.isotherm_position(0.0, temperature=701.0)
+        assert z == pytest.approx(10.0 + 1.0 / 0.5)
+
+    def test_window_shift_consistency(self, frozen):
+        """Temperature at a fixed physical position is offset-invariant."""
+        a = frozen.at_position(1.0, 7, z_offset=3)
+        b = frozen.at_position(1.0, 10, z_offset=0)
+        assert a == pytest.approx(b)
+
+
+class TestConstantTemperature:
+    def test_profile(self):
+        c = ConstantTemperature(650.0)
+        np.testing.assert_allclose(c.at_time(5.0, 7), 650.0)
+        assert c.at_position(1.0, 3) == 650.0
+        assert c.dT_dt == 0.0

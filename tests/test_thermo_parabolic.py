@@ -1,0 +1,140 @@
+"""Unit + property tests of the parabolic free-energy algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.thermo.parabolic import ParabolicFreeEnergy
+
+
+def make_fe(curv=None, c_eq=(0.2, 0.3), c_slope=(1e-3, -5e-4), latent=0.1, te=700.0):
+    curv = np.array([[10.0, 2.0], [2.0, 8.0]]) if curv is None else np.asarray(curv)
+    return ParabolicFreeEnergy(
+        curvature=curv,
+        c_eq=np.asarray(c_eq, dtype=float),
+        c_slope=np.asarray(c_slope, dtype=float),
+        latent_slope=latent,
+        t_eutectic=te,
+    )
+
+
+class TestValidation:
+    def test_rejects_non_square_curvature(self):
+        with pytest.raises(ValueError, match="square"):
+            make_fe(curv=np.ones((2, 3)))
+
+    def test_rejects_asymmetric_curvature(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            make_fe(curv=np.array([[1.0, 0.5], [0.0, 1.0]]))
+
+    def test_rejects_indefinite_curvature(self):
+        with pytest.raises(ValueError, match="positive definite"):
+            make_fe(curv=np.array([[1.0, 0.0], [0.0, -1.0]]))
+
+    def test_rejects_wrong_c_eq_shape(self):
+        with pytest.raises(ValueError, match="c_eq"):
+            make_fe(c_eq=(0.1, 0.2, 0.3))
+
+    def test_rejects_wrong_slope_shape(self):
+        with pytest.raises(ValueError, match="c_slope"):
+            make_fe(c_slope=(0.1,))
+
+
+class TestLegendreTransform:
+    def test_c_of_mu_inverts_mu_of_c(self):
+        fe = make_fe()
+        c = np.array([0.25, 0.31])
+        mu = fe.mu_of_c(c, 702.0)
+        back = fe.c_of_mu(mu, 702.0)
+        np.testing.assert_allclose(back, c, atol=1e-12)
+
+    def test_minimum_at_c_min(self):
+        fe = make_fe()
+        t = 698.0
+        c0 = fe.c_min(t)
+        f0 = fe.free_energy(c0, t)
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            c = c0 + rng.normal(scale=0.05, size=2)
+            assert fe.free_energy(c, t) >= f0 - 1e-12
+
+    def test_grand_potential_is_legendre_transform(self):
+        fe = make_fe()
+        t = 705.0
+        mu = np.array([0.3, -0.2])
+        c = fe.c_of_mu(mu, t)
+        expected = fe.free_energy(c, t) - float(mu @ c)
+        assert fe.grand_potential(mu, t) == pytest.approx(expected, rel=1e-12)
+
+    def test_dpsi_dmu_is_minus_c(self):
+        fe = make_fe()
+        t = 700.0
+        mu = np.array([0.1, 0.4])
+        eps = 1e-6
+        for i in range(2):
+            dm = np.zeros(2)
+            dm[i] = eps
+            num = (fe.grand_potential(mu + dm, t) - fe.grand_potential(mu - dm, t)) / (
+                2 * eps
+            )
+            assert num == pytest.approx(fe.dpsi_dmu(mu, t)[i], abs=1e-6)
+
+    def test_offset_vanishes_at_eutectic(self):
+        fe = make_fe()
+        assert fe.offset(fe.t_eutectic) == 0.0
+
+    def test_offset_sign_below_eutectic(self):
+        fe = make_fe(latent=0.2)
+        assert fe.offset(fe.t_eutectic - 5.0) < 0.0
+
+    def test_c_min_follows_slope(self):
+        fe = make_fe()
+        dt = 4.0
+        shift = fe.c_min(fe.t_eutectic + dt) - fe.c_min(fe.t_eutectic)
+        np.testing.assert_allclose(shift, fe.c_slope * dt)
+
+
+class TestBroadcasting:
+    def test_field_shaped_temperature(self):
+        fe = make_fe()
+        temps = np.linspace(695, 705, 7)
+        cmin = fe.c_min(temps)
+        assert cmin.shape == (2, 7)
+        for i, t in enumerate(temps):
+            np.testing.assert_allclose(cmin[:, i], fe.c_min(t))
+
+    def test_field_shaped_mu(self):
+        fe = make_fe()
+        mu = np.random.default_rng(0).normal(size=(2, 4, 5))
+        psi = fe.grand_potential(mu, 700.0)
+        assert psi.shape == (4, 5)
+        one = fe.grand_potential(mu[:, 2, 3], 700.0)
+        assert psi[2, 3] == pytest.approx(float(one))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    mu0=st.floats(-1, 1), mu1=st.floats(-1, 1),
+    t=st.floats(650, 750),
+)
+def test_roundtrip_property(mu0, mu1, t):
+    """c(mu) and mu(c) are inverse bijections for any state."""
+    fe = make_fe()
+    mu = np.array([mu0, mu1])
+    c = fe.c_of_mu(mu, t)
+    np.testing.assert_allclose(fe.mu_of_c(c, t), mu, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(mu0=st.floats(-1, 1), mu1=st.floats(-1, 1))
+def test_grand_potential_concave_in_mu(mu0, mu1):
+    """psi(mu) is concave (its Hessian is -A^{-1} < 0)."""
+    fe = make_fe()
+    t = 700.0
+    a = np.array([mu0, mu1])
+    b = np.array([0.5, -0.5])
+    mid = 0.5 * (a + b)
+    psi_mid = fe.grand_potential(mid, t)
+    avg = 0.5 * (fe.grand_potential(a, t) + fe.grand_potential(b, t))
+    assert psi_mid >= avg - 1e-9

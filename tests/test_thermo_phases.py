@@ -1,0 +1,71 @@
+"""Unit tests of the phase/component bookkeeping."""
+
+import pytest
+
+from repro.thermo.phases import Component, Phase, PhaseSet
+
+
+def make_set(**kwargs):
+    defaults = dict(
+        phases=(
+            Phase("Al"), Phase("Ag2Al"), Phase("Al2Cu"),
+            Phase("liquid", is_liquid=True),
+        ),
+        components=(
+            Component("Ag"), Component("Cu"), Component("Al", solvent=True),
+        ),
+    )
+    defaults.update(kwargs)
+    return PhaseSet(**defaults)
+
+
+class TestValidation:
+    def test_requires_exactly_one_liquid(self):
+        with pytest.raises(ValueError, match="liquid"):
+            make_set(phases=(Phase("a"), Phase("b")))
+
+    def test_rejects_two_liquids(self):
+        with pytest.raises(ValueError, match="liquid"):
+            make_set(phases=(Phase("a", is_liquid=True), Phase("b", is_liquid=True)))
+
+    def test_requires_exactly_one_solvent(self):
+        with pytest.raises(ValueError, match="solvent"):
+            make_set(components=(Component("Ag"), Component("Cu")))
+
+    def test_solvent_must_be_last(self):
+        with pytest.raises(ValueError, match="last"):
+            make_set(components=(
+                Component("Al", solvent=True), Component("Ag"), Component("Cu"),
+            ))
+
+    def test_rejects_duplicate_phase_names(self):
+        with pytest.raises(ValueError, match="unique"):
+            make_set(phases=(
+                Phase("x"), Phase("x"), Phase("liq", is_liquid=True),
+            ))
+
+
+class TestAccessors:
+    def test_counts(self):
+        ps = make_set()
+        assert ps.n_phases == 4
+        assert ps.n_components == 3
+        assert ps.n_solutes == 2
+
+    def test_liquid_index(self):
+        assert make_set().liquid_index == 3
+
+    def test_solid_indices(self):
+        assert make_set().solid_indices == (0, 1, 2)
+
+    def test_phase_index_lookup(self):
+        ps = make_set()
+        assert ps.phase_index("Al2Cu") == 2
+        with pytest.raises(KeyError):
+            ps.phase_index("bogus")
+
+    def test_component_index_lookup(self):
+        ps = make_set()
+        assert ps.component_index("Cu") == 1
+        with pytest.raises(KeyError):
+            ps.component_index("Zn")

@@ -1,0 +1,175 @@
+"""Tests of the whole-system thermodynamics facade and the Ag-Al-Cu data."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interpolation import moelans_h
+from repro.thermo.calphad import T_EUTECTIC_AG_AL_CU, ag_al_cu_data
+from repro.thermo.system import TernaryEutecticSystem, _solve_spd_field
+
+
+@pytest.fixture(scope="module")
+def system():
+    return TernaryEutecticSystem()
+
+
+class TestAgAlCuData:
+    def test_eutectic_temperature(self, system):
+        assert system.t_eutectic == pytest.approx(T_EUTECTIC_AG_AL_CU)
+
+    def test_equal_grand_potentials_at_eutectic(self, system):
+        """At (T_E, mu*=0) all four phases coexist."""
+        psi = system.grand_potentials(np.zeros(2), system.t_eutectic)
+        np.testing.assert_allclose(psi, psi[0], atol=1e-12)
+
+    def test_solids_favoured_below_eutectic(self, system):
+        psi = system.grand_potentials(np.zeros(2), system.t_eutectic - 2.0)
+        ell = system.liquid_index
+        for s in system.phase_set.solid_indices:
+            assert psi[s] < psi[ell]
+
+    def test_liquid_favoured_above_eutectic(self, system):
+        psi = system.grand_potentials(np.zeros(2), system.t_eutectic + 2.0)
+        ell = system.liquid_index
+        for s in system.phase_set.solid_indices:
+            assert psi[s] > psi[ell]
+
+    def test_lever_rule_fractions_consistent(self, system):
+        frac = system.lever_rule_fractions()
+        assert frac[system.liquid_index] == 0.0
+        assert frac.sum() == pytest.approx(1.0)
+        # reconstruct the melt composition from the solid mixture
+        te = system.t_eutectic
+        recon = sum(
+            frac[s] * system.free_energy(s).c_min(te)
+            for s in system.phase_set.solid_indices
+        )
+        np.testing.assert_allclose(recon, system.data.liquid_c_eq, atol=1e-9)
+
+    def test_similar_phase_fractions(self, system):
+        """The paper stresses 'similar phase fractions' — none dominates."""
+        frac = system.lever_rule_fractions()
+        solids = [frac[s] for s in system.phase_set.solid_indices]
+        assert min(solids) > 0.1
+        assert max(solids) < 0.6
+
+    def test_diffusivity_contrast(self, system):
+        ell = system.liquid_index
+        d = system.diffusivities
+        for s in system.phase_set.solid_indices:
+            assert d[s] < 1e-2 * d[ell]
+
+    def test_latent_scale_knob(self):
+        scaled = TernaryEutecticSystem(ag_al_cu_data(latent_scale=2.0))
+        base = TernaryEutecticSystem()
+        dt = -3.0
+        psi_s = scaled.grand_potentials(np.zeros(2), scaled.t_eutectic + dt)
+        psi_b = base.grand_potentials(np.zeros(2), base.t_eutectic + dt)
+        s0 = scaled.phase_set.solid_indices[0]
+        assert psi_s[s0] == pytest.approx(2.0 * psi_b[s0])
+
+
+class TestMixtures:
+    def test_susceptibility_spd(self, system):
+        h = np.array([0.2, 0.3, 0.1, 0.4])
+        chi = system.susceptibility(h)
+        assert chi.shape == (2, 2)
+        np.testing.assert_allclose(chi, chi.T)
+        assert np.all(np.linalg.eigvalsh(chi) > 0)
+
+    def test_solve_susceptibility_inverts(self, system):
+        h = np.array([0.25, 0.25, 0.25, 0.25])
+        rhs = np.array([0.3, -0.7])
+        x = system.solve_susceptibility(h, rhs)
+        chi = system.susceptibility(h)
+        np.testing.assert_allclose(chi @ x, rhs, atol=1e-12)
+
+    def test_mu_of_mixture_roundtrip(self, system):
+        h = moelans_h(np.array([0.4, 0.1, 0.2, 0.3]))
+        t = system.t_eutectic - 1.0
+        mu = np.array([0.2, -0.1])
+        c = system.concentration(h, mu, t)
+        back = system.mu_of_mixture(h, c, t)
+        np.testing.assert_allclose(back, mu, atol=1e-10)
+
+    def test_pure_phase_concentration(self, system):
+        """With weight on a single phase, c equals that phase's c(mu)."""
+        t = system.t_eutectic
+        mu = np.array([0.05, 0.02])
+        for a in range(system.n_phases):
+            h = np.zeros(system.n_phases)
+            h[a] = 1.0
+            c = system.concentration(h, mu, t)
+            np.testing.assert_allclose(
+                c, system.free_energy(a).c_of_mu(mu, t), atol=1e-12
+            )
+
+    def test_field_shapes(self, system):
+        mu = np.zeros((2, 3, 4))
+        t = np.full((3, 4), system.t_eutectic)
+        psi = system.grand_potentials(mu, t)
+        assert psi.shape == (4, 3, 4)
+        c = system.phase_concentrations(mu, t)
+        assert c.shape == (4, 2, 3, 4)
+
+    def test_mobility_positive(self, system):
+        w = np.array([0.1, 0.1, 0.1, 0.7])
+        m = system.mobility(w)
+        assert np.all(np.linalg.eigvalsh(m) > 0)
+
+    def test_mobility_small_in_solid(self, system):
+        solid = np.zeros(system.n_phases)
+        solid[0] = 1.0
+        liquid = np.zeros(system.n_phases)
+        liquid[system.liquid_index] = 1.0
+        ms = system.mobility(solid)
+        ml = system.mobility(liquid)
+        assert np.linalg.norm(ms) < 1e-2 * np.linalg.norm(ml)
+
+
+class TestSolveSPDField:
+    def test_2x2_matches_linalg(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(2, 2, 5))
+        mat = np.einsum("ik...,jk...->ij...", a, a) + 0.5 * np.eye(2)[:, :, None]
+        rhs = rng.normal(size=(2, 5))
+        x = _solve_spd_field(mat, rhs)
+        for c in range(5):
+            np.testing.assert_allclose(
+                mat[:, :, c] @ x[:, c], rhs[:, c], atol=1e-10
+            )
+
+    def test_1x1(self):
+        mat = np.full((1, 1, 3), 4.0)
+        rhs = np.full((1, 3), 8.0)
+        np.testing.assert_allclose(_solve_spd_field(mat, rhs), 2.0)
+
+    def test_3x3_fallback(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=(3, 3))
+        mat = (a @ a.T + np.eye(3))[..., None] * np.ones(4)
+        rhs = rng.normal(size=(3, 4))
+        x = _solve_spd_field(mat, rhs)
+        np.testing.assert_allclose(mat[..., 0] @ x[:, 1], rhs[:, 1], atol=1e-10)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            _solve_spd_field(np.eye(2)[..., None], np.zeros((3, 1)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    w=st.lists(st.floats(0.01, 1.0), min_size=4, max_size=4),
+    mu0=st.floats(-0.5, 0.5), mu1=st.floats(-0.5, 0.5),
+)
+def test_mixture_inversion_property(w, mu0, mu1):
+    """mu_of_mixture inverts concentration for any positive weights."""
+    system = TernaryEutecticSystem()
+    h = np.asarray(w)
+    h = h / h.sum()
+    mu = np.array([mu0, mu1])
+    t = system.t_eutectic + 1.3
+    c = system.concentration(h, mu, t)
+    np.testing.assert_allclose(system.mu_of_mixture(h, c, t), mu, atol=1e-8)

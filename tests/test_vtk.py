@@ -1,0 +1,67 @@
+"""Tests of the legacy-VTK field writer."""
+
+import numpy as np
+import pytest
+
+from repro.io.vtk import write_vtk_fields
+
+
+class TestWriter:
+    def test_header_and_payload(self, tmp_path):
+        path = tmp_path / "out.vtk"
+        phi = np.arange(24, dtype=float).reshape(2, 3, 4)
+        nbytes = write_vtk_fields(path, {"phi0": phi})
+        text = path.read_text()
+        assert nbytes == len(text)
+        assert "DATASET STRUCTURED_POINTS" in text
+        assert "DIMENSIONS 2 3 4" in text
+        assert "POINT_DATA 24" in text
+        assert "SCALARS phi0 double 1" in text
+
+    def test_value_ordering_x_fastest(self, tmp_path):
+        path = tmp_path / "o.vtk"
+        arr = np.zeros((2, 2, 1))
+        arr[1, 0, 0] = 7.0
+        write_vtk_fields(path, {"f": arr})
+        tail = path.read_text().splitlines()
+        data_idx = tail.index("LOOKUP_TABLE default") + 1
+        values = " ".join(tail[data_idx:]).split()
+        # x fastest: (0,0,0), (1,0,0), (0,1,0), (1,1,0)
+        assert [float(v) for v in values[:4]] == [0.0, 7.0, 0.0, 0.0]
+
+    def test_2d_promoted(self, tmp_path):
+        path = tmp_path / "o2.vtk"
+        write_vtk_fields(path, {"f": np.ones((3, 5))})
+        assert "DIMENSIONS 3 5 1" in path.read_text()
+
+    def test_multiple_fields(self, tmp_path):
+        path = tmp_path / "m.vtk"
+        a = np.zeros((2, 2, 2))
+        write_vtk_fields(path, {"a": a, "b": a + 1})
+        text = path.read_text()
+        assert text.count("SCALARS") == 2
+
+    def test_shape_mismatch(self, tmp_path):
+        with pytest.raises(ValueError, match="share"):
+            write_vtk_fields(tmp_path / "x.vtk",
+                             {"a": np.zeros((2, 2)), "b": np.zeros((3, 3))})
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="at least one"):
+            write_vtk_fields(tmp_path / "x.vtk", {})
+
+    def test_bad_rank(self, tmp_path):
+        with pytest.raises(ValueError, match="2-D or 3-D"):
+            write_vtk_fields(tmp_path / "x.vtk", {"a": np.zeros(5)})
+
+    def test_simulation_fields_roundtrip_size(self, tmp_path):
+        from repro.core.solver import Simulation
+
+        sim = Simulation(shape=(4, 4, 6))
+        sim.initialize_voronoi(seed=0, n_seeds=3)
+        fields = {
+            f"phi_{p.name}": sim.phi.interior_src[i]
+            for i, p in enumerate(sim.system.phase_set.phases)
+        }
+        n = write_vtk_fields(tmp_path / "sim.vtk", fields)
+        assert n > 0
