@@ -195,6 +195,47 @@ class Simulation:
         apply_boundaries(getattr(self.phi, buffer), self.phi_bc)
         apply_boundaries(getattr(self.mu, buffer), self.mu_bc)
 
+    def state_dict(self) -> dict:
+        """Restorable snapshot of the interior state and clock.
+
+        The dict matches the layout of
+        :func:`repro.io.checkpoint.load_checkpoint`, so it can be fed to
+        :meth:`load_state` or to ``repro.io.checkpoint.save_state``.
+        """
+        return {
+            "phi": self.phi.interior_src.copy(),
+            "mu": self.mu.interior_src.copy(),
+            "time": self.time,
+            "step_count": self.step_count,
+            "z_offset": self.z_offset,
+            "shape": self.shape,
+            "kernel": self.kernel_name,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict`-shaped snapshot (clock included)."""
+        if tuple(state["shape"]) != self.shape:
+            raise ValueError(
+                f"state shape {tuple(state['shape'])} does not match "
+                f"simulation shape {self.shape}"
+            )
+        self.initialize(state["phi"], state["mu"])
+        self.time = float(state["time"])
+        self.step_count = int(state["step_count"])
+        self.z_offset = int(state["z_offset"])
+
+    def set_dt(self, dt: float) -> None:
+        """Change the time step (rebuilds the kernel context).
+
+        Used by the resilience layer's rollback-with-backoff: after a
+        numerical blow-up the run resumes from the last checkpoint with a
+        smaller explicit-Euler step.
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        self.params = self.params.with_(dt=dt)
+        self.ctx = make_context(self.system, self.params)
+
     # ------------------------------------------------------------------ #
     # time stepping
     # ------------------------------------------------------------------ #

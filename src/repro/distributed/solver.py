@@ -151,15 +151,35 @@ class DistributedSimulation:
         )
 
     def run(
-        self, steps: int, phi0: np.ndarray, mu0: np.ndarray
+        self,
+        steps: int,
+        phi0: np.ndarray,
+        mu0: np.ndarray,
+        *,
+        t0: float = 0.0,
+        step0: int = 0,
+        fault_plan=None,
+        guard: bool = False,
     ) -> DistributedResult:
-        """Advance *steps* steps from the global initial interior state."""
+        """Advance *steps* steps from the global initial interior state.
+
+        *t0* / *step0* place the run on the campaign clock, so a restart
+        from a checkpoint sees the same frozen-temperature history as an
+        uninterrupted run.  *fault_plan* injects scheduled faults (see
+        :mod:`repro.resilience.faults`); *guard* enables a cheap
+        per-step finiteness check on every rank that turns silent NaN
+        contamination (e.g. from a corrupted ghost message) into an
+        :class:`~repro.resilience.errors.InvariantViolation` abort.
+        """
         if phi0.shape != (self.system.n_phases,) + self.shape:
             raise ValueError(f"phi0 must have shape (N,){self.shape}")
         if mu0.shape != (self.system.n_solutes,) + self.shape:
             raise ValueError(f"mu0 must have shape (K-1,){self.shape}")
 
-        results = run_spmd(self.n_ranks, self._rank_main, steps, phi0, mu0)
+        results = run_spmd(
+            self.n_ranks, self._rank_main, steps, phi0, mu0,
+            t0=t0, step0=step0, fault_plan=fault_plan, guard=guard,
+        )
 
         phi = np.empty_like(phi0)
         mu = np.empty_like(mu0)
@@ -176,7 +196,14 @@ class DistributedSimulation:
 
     # ------------------------------------------------------------------ #
 
-    def _rank_main(self, comm, steps: int, phi0, mu0):
+    def _rank_main(self, comm, steps: int, phi0, mu0, *,
+                   t0: float = 0.0, step0: int = 0,
+                   fault_plan=None, guard: bool = False):
+        if fault_plan is not None:
+            from repro.resilience.faults import FaultyComm
+
+            comm = FaultyComm(comm, fault_plan)
+            comm.step = step0
         ctx = make_context(self.system, self.params)
         phi_kernel = get_phi_kernel(self.kernel)
         mu_kernel = get_mu_kernel(self.kernel)
@@ -221,9 +248,28 @@ class DistributedSimulation:
         exchange(mu_fields, "src", self.mu_bc, 3000, timer_mu)
 
         dt = self.params.dt
-        time_now = 0.0
+        time_now = t0
         mu_ghosts_stale = False
-        for _ in range(steps):
+        for local_step in range(steps):
+            global_step = step0 + local_step
+            if fault_plan is not None:
+                comm.step = global_step
+                fault = fault_plan.fires(
+                    "rank_kill", step=global_step, rank=comm.rank
+                )
+                if fault is not None:
+                    from repro.resilience.errors import InjectedFault
+
+                    raise InjectedFault(
+                        "rank_kill", step=global_step, rank=comm.rank
+                    )
+                fault = fault_plan.fires(
+                    "nan_inject", step=global_step, rank=comm.rank
+                )
+                if fault is not None and owned:
+                    from repro.resilience.faults import poison
+
+                    poison(phi_fields[owned[0].id].interior_src)
             temps = {}
             for b in owned:
                 z_off = b.offset[-1]
@@ -279,6 +325,17 @@ class DistributedSimulation:
                 phi_fields[b.id].swap()
                 mu_fields[b.id].swap()
             time_now += dt
+            if guard:
+                for b in owned:
+                    phi_i = phi_fields[b.id].interior_src
+                    mu_i = mu_fields[b.id].interior_src
+                    if not (np.isfinite(phi_i).all() and np.isfinite(mu_i).all()):
+                        from repro.resilience.errors import InvariantViolation
+
+                        raise InvariantViolation(
+                            f"non-finite field values in block {b.id}",
+                            step=global_step + 1, rank=comm.rank,
+                        )
 
         stats = RankStats(
             rank=comm.rank,

@@ -14,12 +14,35 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["Functor", "Timeloop"]
+__all__ = ["Functor", "FunctorError", "Timeloop"]
+
+
+class FunctorError(RuntimeError):
+    """A functor raised; carries its name and the step it failed in.
+
+    Produced by :meth:`Timeloop.run` so that a failure deep inside a
+    sweep or exchange routine still identifies *which* registered step of
+    *which* time step broke — essential when a resilience watchdog
+    triggers halfway through a long campaign.
+    """
+
+    def __init__(self, functor: str, step: int, original: BaseException):
+        super().__init__(
+            f"functor {functor!r} failed at step {step}: {original!r}"
+        )
+        self.functor = functor
+        self.step = step
+        self.original = original
 
 
 @dataclass
 class Functor:
-    """One named step of the loop with accumulated timing."""
+    """One named step of the loop with accumulated timing.
+
+    Time spent in a failing invocation is still accumulated (``calls``
+    only counts completed ones), so a timing report taken after a crash
+    reflects the partially-completed step.
+    """
 
     name: str
     fn: object
@@ -29,8 +52,10 @@ class Functor:
 
     def __call__(self) -> None:
         t0 = time.perf_counter()
-        self.fn()
-        self.seconds += time.perf_counter() - t0
+        try:
+            self.fn()
+        finally:
+            self.seconds += time.perf_counter() - t0
         self.calls += 1
 
 
@@ -45,6 +70,7 @@ class Timeloop:
     def __init__(self) -> None:
         self._functors: list[Functor] = []
         self.steps = 0
+        self.partial_steps = 0
 
     def add(self, name: str, fn, category: str = "compute") -> Functor:
         """Register a functor; returns the handle (for timing queries)."""
@@ -85,12 +111,21 @@ class Timeloop:
         return [f.name for f in self._functors]
 
     def run(self, steps: int = 1) -> None:
-        """Execute all functors in order, *steps* times."""
+        """Execute all functors in order, *steps* times.
+
+        A functor exception is re-raised as :class:`FunctorError`
+        annotated with the functor name and the (zero-based) step number;
+        the aborted step is counted in ``partial_steps``, not ``steps``.
+        """
         if steps < 0:
             raise ValueError("steps must be non-negative")
         for _ in range(steps):
             for f in self._functors:
-                f()
+                try:
+                    f()
+                except Exception as exc:
+                    self.partial_steps += 1
+                    raise FunctorError(f.name, self.steps, exc) from exc
             self.steps += 1
 
     def timing_report(self) -> dict[str, dict]:
@@ -104,7 +139,7 @@ class Timeloop:
         for f in self._functors:
             per_category[f.category] = per_category.get(f.category, 0.0) + f.seconds
         return {"functors": per_functor, "categories": per_category,
-                "steps": self.steps}
+                "steps": self.steps, "partial_steps": self.partial_steps}
 
     def reset_timers(self) -> None:
         """Zero all accumulated timings (keep the schedule)."""
@@ -112,3 +147,4 @@ class Timeloop:
             f.calls = 0
             f.seconds = 0.0
         self.steps = 0
+        self.partial_steps = 0

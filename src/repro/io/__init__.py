@@ -14,15 +14,22 @@ hierarchically over the process tree.
 * :mod:`repro.io.reduction` — the log2(P) gather-stitch-coarsen pipeline.
 """
 
-from repro.io.checkpoint import load_checkpoint, save_checkpoint
+from repro.io.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+    save_state,
+)
 from repro.io.marching_cubes import extract_isosurface
 from repro.io.mesh import TriangleMesh
 from repro.io.simplify import simplify_mesh
 from repro.io.reduction import hierarchical_mesh_reduction
 
 __all__ = [
+    "CheckpointError",
     "load_checkpoint",
     "save_checkpoint",
+    "save_state",
     "extract_isosurface",
     "TriangleMesh",
     "simplify_mesh",

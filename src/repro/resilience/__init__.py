@@ -1,0 +1,54 @@
+"""Resilience subsystem: durable checkpoints, guardrails, fault injection.
+
+Production phase-field campaigns (Sec. 6 of the paper) run for days on
+hundreds of thousands of cores; they finish because the tooling around
+them survives crashes, torn checkpoint writes and numerical blow-ups.
+This package reproduces that operational layer:
+
+* :mod:`repro.resilience.store` — rotating store of the last K good
+  checkpoints over the atomic, checksummed writer of
+  :mod:`repro.io.checkpoint`; corrupt generations are quarantined.
+* :mod:`repro.resilience.guards` — per-step physical invariants
+  (finiteness, partition of unity, Gibbs-simplex bounds, solute
+  conservation), Timeloop watchdog functors, and
+  :class:`GuardedSimulation` with rollback + dt-backoff retry.
+* :mod:`repro.resilience.faults` — deterministic seeded
+  :class:`FaultPlan` (rank kills, dropped/corrupted/delayed ghost
+  messages, truncated checkpoints, NaN injection).
+* :mod:`repro.resilience.campaign` — chunked distributed campaigns that
+  relaunch from the checkpoint store after any rank failure.
+"""
+
+from repro.resilience.campaign import CampaignResult, run_campaign
+from repro.resilience.errors import (
+    CheckpointError,
+    DivergenceError,
+    InjectedFault,
+    InvariantViolation,
+)
+from repro.resilience.faults import FAULT_KINDS, Fault, FaultPlan, FaultyComm
+from repro.resilience.guards import (
+    GuardedSimulation,
+    StateGuard,
+    attach_watchdog,
+    find_violations,
+)
+from repro.resilience.store import CheckpointStore
+
+__all__ = [
+    "CampaignResult",
+    "run_campaign",
+    "CheckpointError",
+    "DivergenceError",
+    "InjectedFault",
+    "InvariantViolation",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+    "FaultyComm",
+    "GuardedSimulation",
+    "StateGuard",
+    "attach_watchdog",
+    "find_violations",
+    "CheckpointStore",
+]

@@ -1,0 +1,167 @@
+"""Deterministic fault injection.
+
+A :class:`FaultPlan` is a seeded, reproducible list of faults that the
+guarded drivers consult at well-defined points: the start of each time
+step (``rank_kill``, ``nan_inject``), each ghost-exchange send
+(``msg_drop`` / ``msg_corrupt`` / ``msg_delay``) and each checkpoint
+write (``ckpt_truncate``).  Every fault fires **once** — the whole point
+of recovery testing is that the retry after a restart runs clean — and
+the plan records what fired, so a failing test can print the exact
+schedule (and seed) needed to reproduce it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.resilience.errors import InjectedFault
+
+__all__ = ["FAULT_KINDS", "Fault", "FaultPlan", "FaultyComm", "poison"]
+
+FAULT_KINDS = (
+    "rank_kill",      # the rank raises InjectedFault (process crash)
+    "msg_drop",       # a ghost message is lost; the sender detects the
+                      # failed transfer and aborts (walltime-kill analog)
+    "msg_corrupt",    # a ghost message arrives NaN-poisoned
+    "msg_delay",      # a ghost message is delivered late (must be harmless)
+    "ckpt_truncate",  # a finished checkpoint file is cut short on disk
+    "nan_inject",     # a field value blows up to NaN mid-run
+)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault.
+
+    ``rank=None`` matches any rank (first claimant wins); *fraction* is
+    the surviving byte fraction for ``ckpt_truncate``; *delay* the extra
+    latency in seconds for ``msg_delay``.
+    """
+
+    kind: str
+    step: int
+    rank: int | None = None
+    fraction: float = 0.5
+    delay: float = 0.005
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+
+
+class FaultPlan:
+    """Seeded, thread-safe, fire-once fault schedule."""
+
+    def __init__(self, faults=(), *, seed: int = 0):
+        self.faults = [f if isinstance(f, Fault) else Fault(**f) for f in faults]
+        self.seed = seed
+        self._fired: dict[int, tuple] = {}
+        self._lock = threading.Lock()
+
+    @classmethod
+    def random(cls, seed: int, *, steps: int, n_ranks: int = 1,
+               kinds=FAULT_KINDS, n_faults: int = 1) -> "FaultPlan":
+        """Deterministically sample *n_faults* faults from *seed*.
+
+        Steps are drawn from ``[1, steps)`` so a fault never fires before
+        the initial checkpoint exists.
+        """
+        rng = np.random.default_rng(seed)
+        faults = []
+        for _ in range(n_faults):
+            kind = kinds[int(rng.integers(len(kinds)))]
+            step = int(rng.integers(1, max(2, steps)))
+            rank = int(rng.integers(n_ranks))
+            faults.append(Fault(kind=kind, step=step, rank=rank))
+        return cls(faults, seed=seed)
+
+    def fires(self, kind: str, *, step: int, rank: int | None = None):
+        """Claim-and-return the matching unfired fault, or ``None``.
+
+        Thread-safe: simulated ranks race for rank-wildcard faults, but
+        each fault is claimed exactly once.
+        """
+        with self._lock:
+            for i, f in enumerate(self.faults):
+                if i in self._fired or f.kind != kind or f.step != step:
+                    continue
+                if f.rank is not None and rank is not None and f.rank != rank:
+                    continue
+                self._fired[i] = (step, rank)
+                return f
+        return None
+
+    def fired(self) -> list[tuple[Fault, int, int | None]]:
+        """Faults that fired, with the (step, rank) they fired at."""
+        with self._lock:
+            return [(self.faults[i], s, r) for i, (s, r) in self._fired.items()]
+
+    def pending(self) -> list[Fault]:
+        """Faults that have not fired yet."""
+        with self._lock:
+            return [f for i, f in enumerate(self.faults) if i not in self._fired]
+
+    def describe(self) -> str:
+        """Reproduction string (seed + schedule) for test reports."""
+        lines = [f"FaultPlan(seed={self.seed})"]
+        for f in self.faults:
+            lines.append(
+                f"  {f.kind} @ step {f.step}"
+                + ("" if f.rank is None else f" rank {f.rank}")
+            )
+        return "\n".join(lines)
+
+
+def poison(arr: np.ndarray) -> None:
+    """Overwrite one central value of *arr* with NaN, in place.
+
+    Index-based write so it works on non-contiguous views (the ghosted
+    interior of a :class:`repro.grid.field.Field` is one).
+    """
+    arr[tuple(s // 2 for s in arr.shape)] = np.nan
+
+
+class FaultyComm:
+    """Communicator proxy that injects message faults on ``send``.
+
+    Wraps a :class:`repro.simmpi.comm.Communicator`; the driver advances
+    :attr:`step` once per time step so message faults are matched against
+    the simulation clock.  Receives and collectives pass through.
+    """
+
+    def __init__(self, comm, plan: FaultPlan):
+        self._comm = comm
+        self._plan = plan
+        self.step = 0
+
+    @property
+    def rank(self) -> int:
+        return self._comm.rank
+
+    @property
+    def size(self) -> int:
+        return self._comm.size
+
+    def send(self, obj, dest: int, tag: int = 0) -> None:
+        if self._plan.fires("msg_drop", step=self.step, rank=self.rank):
+            # the transfer fails outright; the sending rank notices and
+            # aborts — peers waiting on the message see the world fail
+            # instead of deadlocking on a payload that will never arrive
+            raise InjectedFault("msg_drop", step=self.step, rank=self.rank)
+        fault = self._plan.fires("msg_corrupt", step=self.step, rank=self.rank)
+        if fault is not None and isinstance(obj, np.ndarray):
+            obj = np.array(obj, dtype=float)
+            obj.flat[::3] = np.nan
+        fault = self._plan.fires("msg_delay", step=self.step, rank=self.rank)
+        if fault is not None:
+            _time.sleep(fault.delay)
+        self._comm.send(obj, dest, tag)
+
+    def __getattr__(self, name):
+        return getattr(self._comm, name)

@@ -1,0 +1,138 @@
+"""Rotating store of the last K good checkpoints.
+
+The paper's production campaigns (Sec. 6) checkpoint periodically and
+keep several generations, because a crash can strike *during* a
+checkpoint write and the newest file may be the broken one.  The store
+pairs the atomic, checksummed writer of :mod:`repro.io.checkpoint` with
+a load path that walks generations newest-first, quarantines anything
+that fails verification, and hands back the newest checkpoint that
+actually loads.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.io.checkpoint import CheckpointError, load_checkpoint, save_state
+
+__all__ = ["CheckpointStore"]
+
+
+class CheckpointStore:
+    """Directory of ``<prefix>-<step>.npz`` checkpoints with rotation.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoints live; created if missing.
+    keep:
+        Number of most-recent checkpoints retained; older generations are
+        deleted after each successful save.
+    prefix:
+        File-name prefix (lets several campaigns share a directory).
+    fault_plan:
+        Optional :class:`repro.resilience.faults.FaultPlan`; a
+        ``ckpt_truncate`` fault scheduled for the saved step truncates
+        the file *after* it reaches its final name, simulating torn
+        storage that atomic rename alone cannot prevent.
+    """
+
+    def __init__(self, directory, *, keep: int = 3, prefix: str = "ck",
+                 fault_plan=None):
+        if keep < 1:
+            raise ValueError("keep must be at least 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+        self.prefix = prefix
+        self.fault_plan = fault_plan
+
+    # ------------------------------------------------------------------ #
+    # paths
+    # ------------------------------------------------------------------ #
+
+    def path_for(self, step: int) -> Path:
+        """Checkpoint path of a given step count."""
+        return self.directory / f"{self.prefix}-{step:010d}.npz"
+
+    def _step_of(self, path: Path) -> int:
+        return int(path.stem.split("-")[-1])
+
+    def checkpoints(self) -> list[Path]:
+        """Present checkpoint files, oldest first."""
+        paths = self.directory.glob(f"{self.prefix}-*.npz")
+        return sorted(paths, key=self._step_of)
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.directory / "quarantine"
+
+    def quarantined(self) -> list[Path]:
+        """Files moved aside after failing verification."""
+        if not self.quarantine_dir.exists():
+            return []
+        return sorted(self.quarantine_dir.iterdir())
+
+    # ------------------------------------------------------------------ #
+    # save
+    # ------------------------------------------------------------------ #
+
+    def save_state(self, state: dict) -> Path:
+        """Write a ``state_dict``-shaped snapshot, then rotate."""
+        step = int(state["step_count"])
+        path = self.path_for(step)
+        save_state(
+            path,
+            phi=state["phi"],
+            mu=state["mu"],
+            time=state["time"],
+            step_count=step,
+            z_offset=int(state.get("z_offset", 0)),
+            kernel=state.get("kernel", ""),
+        )
+        self._maybe_truncate(path, step)
+        self._rotate()
+        return path
+
+    def save(self, sim) -> Path:
+        """Checkpoint a :class:`repro.core.solver.Simulation`."""
+        return self.save_state(sim.state_dict())
+
+    def _maybe_truncate(self, path: Path, step: int) -> None:
+        if self.fault_plan is None:
+            return
+        fault = self.fault_plan.fires("ckpt_truncate", step=step)
+        if fault is None:
+            return
+        size = path.stat().st_size
+        with open(path, "r+b") as fh:
+            fh.truncate(max(1, int(size * fault.fraction)))
+
+    def _rotate(self) -> None:
+        paths = self.checkpoints()
+        for path in paths[: max(0, len(paths) - self.keep)]:
+            path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # load
+    # ------------------------------------------------------------------ #
+
+    def load_latest(self) -> dict | None:
+        """Newest checkpoint that verifies, or ``None`` if none does.
+
+        Corrupt generations (truncated archives, checksum or shape
+        mismatches, unsupported versions) are moved into
+        ``quarantine/`` — never deleted, so they stay available for
+        post-mortems — and the walk continues with the next-older file.
+        """
+        for path in reversed(self.checkpoints()):
+            try:
+                return load_checkpoint(path)
+            except CheckpointError:
+                self._quarantine(path)
+        return None
+
+    def _quarantine(self, path: Path) -> None:
+        self.quarantine_dir.mkdir(exist_ok=True)
+        os.replace(path, self.quarantine_dir / path.name)

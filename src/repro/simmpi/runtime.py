@@ -13,7 +13,7 @@ import threading
 
 from repro.simmpi.comm import Communicator, RemoteError, _World
 
-__all__ = ["run_spmd"]
+__all__ = ["run_spmd", "run_spmd_resilient"]
 
 
 def run_spmd(n_ranks: int, fn, *args, **kwargs) -> list:
@@ -21,7 +21,8 @@ def run_spmd(n_ranks: int, fn, *args, **kwargs) -> list:
 
     Returns the list of per-rank return values (rank order).  Exceptions
     raised by any rank abort the whole run and are re-raised (peers'
-    secondary :class:`RemoteError` aborts are suppressed).
+    secondary :class:`RemoteError` aborts are suppressed).  The re-raised
+    exception carries the failing rank as a ``simmpi_rank`` attribute.
     """
     if n_ranks < 1:
         raise ValueError("need at least one rank")
@@ -34,6 +35,7 @@ def run_spmd(n_ranks: int, fn, *args, **kwargs) -> list:
         try:
             results[rank] = fn(comm, *args, **kwargs)
         except BaseException as exc:  # noqa: BLE001 - repropagated below
+            exc.simmpi_rank = rank
             errors[rank] = exc
             world.failed.set()
             world.barrier.abort()
@@ -57,3 +59,33 @@ def run_spmd(n_ranks: int, fn, *args, **kwargs) -> list:
     if secondary is not None:
         raise secondary
     return results
+
+
+def run_spmd_resilient(
+    n_ranks: int,
+    fn,
+    make_args,
+    *,
+    max_attempts: int = 3,
+    retry_on: tuple = (Exception,),
+) -> list:
+    """Retry-with-restart wrapper around :func:`run_spmd`.
+
+    Each attempt gets a **fresh world** (mailboxes, barrier, failure
+    flag) and freshly built arguments: ``make_args(attempt, last_exc)``
+    returns the ``(args, kwargs)`` pair for attempt *attempt* (0-based),
+    letting the caller reload state from a checkpoint store and shrink
+    the remaining work between attempts.  Exceptions matching *retry_on*
+    trigger another attempt until *max_attempts* is exhausted, after
+    which the last exception is re-raised.
+    """
+    if max_attempts < 1:
+        raise ValueError("need at least one attempt")
+    last_exc = None
+    for attempt in range(max_attempts):
+        args, kwargs = make_args(attempt, last_exc)
+        try:
+            return run_spmd(n_ranks, fn, *args, **kwargs)
+        except retry_on as exc:  # noqa: PERF203 - retry loop
+            last_exc = exc
+    raise last_exc

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.core.solver import Simulation
-from repro.io.checkpoint import load_checkpoint, restore_simulation, save_checkpoint
+from repro.io.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    restore_simulation,
+    save_checkpoint,
+)
 from repro.thermo.system import TernaryEutecticSystem
 
 
@@ -104,3 +109,104 @@ class TestFailureModes:
         path.write_bytes(b"PK\x03\x04 not a real archive")
         with pytest.raises(Exception):
             load_checkpoint(path)
+
+
+def _write_v1(path, sim):
+    """Seed-era v1 checkpoint: no manifest, no checksums, plain savez."""
+    np.savez_compressed(
+        path,
+        format_version=np.int64(1),
+        phi=sim.phi.interior_src.astype(np.float32),
+        mu=sim.mu.interior_src.astype(np.float32),
+        time=np.float64(sim.time),
+        step_count=np.int64(sim.step_count),
+        z_offset=np.int64(sim.z_offset),
+        shape=np.asarray(sim.shape, dtype=np.int64),
+        kernel=np.bytes_(sim.kernel_name.encode()),
+    )
+
+
+class TestDurableFormat:
+    def test_write_is_atomic_no_tmp_left(self, sim, tmp_path):
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, sim)
+        assert path.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_crash_mid_write_preserves_previous(self, sim, tmp_path, monkeypatch):
+        """A failed write never replaces the good generation in place."""
+        import repro.io.checkpoint as ck
+
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, sim)
+        before = path.read_bytes()
+
+        def boom(fh, **kwargs):
+            fh.write(b"half a checkpoint")
+            raise OSError("simulated crash mid-write")
+
+        monkeypatch.setattr(ck.np, "savez_compressed", boom)
+        with pytest.raises(OSError, match="mid-write"):
+            save_checkpoint(path, sim)
+        assert path.read_bytes() == before
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_checksums_in_summary_and_verified(self, sim, tmp_path):
+        path = tmp_path / "ck.npz"
+        info = save_checkpoint(path, sim)
+        assert info["format_version"] == 2
+        assert set(info["checksums"]) == {"phi", "mu"}
+        state = load_checkpoint(path)
+        assert state["format_version"] == 2
+
+    def test_corrupted_array_detected(self, sim, tmp_path):
+        """Flipping stored bytes must fail the CRC check on load."""
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, sim)
+        data = dict(np.load(path))
+        data["phi"] = data["phi"] + np.float32(0.25)  # silent corruption
+        np.savez(tmp_path / "bad.npz", **data)
+        with pytest.raises(CheckpointError, match="checksum"):
+            load_checkpoint(tmp_path / "bad.npz")
+
+    def test_shape_metadata_mismatch_detected(self, sim, tmp_path):
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, sim)
+        data = dict(np.load(path))
+        data["shape"] = np.asarray((9, 9, 9), dtype=np.int64)
+        np.savez(tmp_path / "bad.npz", **data)
+        with pytest.raises(CheckpointError, match="shape"):
+            load_checkpoint(tmp_path / "bad.npz")
+
+    def test_truncated_archive_raises_checkpoint_error(self, sim, tmp_path):
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, sim)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_checkpoint(path)
+
+    def test_v1_checkpoint_still_loads(self, sim, tmp_path):
+        """Format negotiation: seed-era v1 files restore fine."""
+        path = tmp_path / "v1.npz"
+        _write_v1(path, sim)
+        state = load_checkpoint(path)
+        assert state["format_version"] == 1
+        assert state["step_count"] == sim.step_count
+        np.testing.assert_allclose(state["phi"], sim.phi.interior_src, atol=1e-6)
+
+        fresh = Simulation(
+            shape=sim.shape, kernel="buffered",
+            system=sim.system, params=sim.params, temperature=sim.temperature,
+        )
+        restore_simulation(path, fresh)
+        assert fresh.step_count == sim.step_count
+
+    def test_v1_shape_mismatch_rejected(self, sim, tmp_path):
+        path = tmp_path / "v1.npz"
+        _write_v1(path, sim)
+        data = dict(np.load(path))
+        data["shape"] = np.asarray((2, 2, 2), dtype=np.int64)
+        np.savez(tmp_path / "bad.npz", **data)
+        with pytest.raises(CheckpointError, match="shape"):
+            load_checkpoint(tmp_path / "bad.npz")

@@ -1,0 +1,200 @@
+"""Fault-injected recovery suite (``pytest -m faults``).
+
+Each test prints the fault plan (including its seed) so a failure report
+carries everything needed to reproduce the exact schedule.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.nucleation import smooth_phase_field, voronoi_initial_condition
+from repro.distributed import DistributedSimulation
+from repro.resilience import (
+    CheckpointStore,
+    DivergenceError,
+    Fault,
+    FaultPlan,
+    FaultyComm,
+    InjectedFault,
+    run_campaign,
+)
+from repro.simmpi.runtime import run_spmd, run_spmd_resilient
+from repro.thermo.system import TernaryEutecticSystem
+
+pytestmark = pytest.mark.faults
+
+SHAPE = (12, 20)
+STEPS = 8
+SEED = 20150817  # printed via FaultPlan.describe on failure
+
+
+@pytest.fixture(scope="module")
+def setup():
+    system = TernaryEutecticSystem()
+    phi0, mu0 = voronoi_initial_condition(system, SHAPE, solid_height=7, n_seeds=4)
+    phi0 = smooth_phase_field(phi0, 2)
+    dsim = DistributedSimulation(SHAPE, (2, 1), system=system, kernel="buffered")
+    reference = dsim.run(STEPS, phi0, mu0)
+    return dsim, phi0, mu0, reference
+
+
+class TestFaultPlan:
+    def test_random_plans_are_seed_deterministic(self):
+        a = FaultPlan.random(SEED, steps=10, n_ranks=4, n_faults=3)
+        b = FaultPlan.random(SEED, steps=10, n_ranks=4, n_faults=3)
+        assert a.faults == b.faults
+        c = FaultPlan.random(SEED + 1, steps=10, n_ranks=4, n_faults=3)
+        assert a.faults != c.faults
+
+    def test_faults_fire_once(self):
+        plan = FaultPlan([Fault(kind="nan_inject", step=2)], seed=SEED)
+        assert plan.fires("nan_inject", step=2) is not None
+        assert plan.fires("nan_inject", step=2) is None
+        assert plan.pending() == []
+        assert len(plan.fired()) == 1
+
+    def test_rank_matching(self):
+        plan = FaultPlan([Fault(kind="rank_kill", step=1, rank=2)], seed=SEED)
+        assert plan.fires("rank_kill", step=1, rank=0) is None
+        assert plan.fires("rank_kill", step=1, rank=2) is not None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault(kind="meteor_strike", step=1)
+
+    def test_describe_names_seed(self):
+        plan = FaultPlan([Fault(kind="msg_drop", step=3, rank=1)], seed=SEED)
+        text = plan.describe()
+        assert str(SEED) in text and "msg_drop" in text
+
+
+class TestRecoveryMatrix:
+    """Acceptance matrix: every fault kind recovers to the unfaulted result."""
+
+    @pytest.mark.parametrize(
+        "faults",
+        [
+            pytest.param([Fault(kind="rank_kill", step=5, rank=1)],
+                         id="rank-kill"),
+            pytest.param([Fault(kind="msg_corrupt", step=4, rank=0)],
+                         id="corrupted-ghost-message"),
+            pytest.param([Fault(kind="ckpt_truncate", step=6),
+                          Fault(kind="rank_kill", step=7, rank=0)],
+                         id="truncated-checkpoint"),
+            pytest.param([Fault(kind="nan_inject", step=4, rank=1)],
+                         id="nan-blow-up"),
+        ],
+    )
+    def test_campaign_recovers_and_matches(self, setup, tmp_path, faults):
+        dsim, phi0, mu0, reference = setup
+        plan = FaultPlan(faults, seed=SEED)
+        print(plan.describe())
+        store = CheckpointStore(tmp_path, keep=3, fault_plan=plan)
+        result = run_campaign(
+            dsim, STEPS, phi0, mu0,
+            store=store, checkpoint_every=3, fault_plan=plan,
+        )
+        assert result.restarts >= 1
+        assert result.steps == STEPS
+        assert len(result.faults_fired) == len(faults)
+        # recovered run matches the unfaulted one within float32
+        # restart rounding
+        np.testing.assert_allclose(result.phi, reference.phi, atol=1e-5)
+        np.testing.assert_allclose(result.mu, reference.mu, atol=1e-5)
+
+    def test_delayed_message_is_harmless(self, setup, tmp_path):
+        dsim, phi0, mu0, reference = setup
+        plan = FaultPlan([Fault(kind="msg_delay", step=4, rank=0)], seed=SEED)
+        print(plan.describe())
+        store = CheckpointStore(tmp_path, keep=3)
+        result = run_campaign(
+            dsim, STEPS, phi0, mu0,
+            store=store, checkpoint_every=3, fault_plan=plan,
+        )
+        assert result.restarts == 0
+        np.testing.assert_array_equal(result.phi, reference.phi)
+        np.testing.assert_array_equal(result.mu, reference.mu)
+
+    def test_restart_budget_exhaustion_raises_structured(self, setup, tmp_path):
+        dsim, phi0, mu0, _ = setup
+        # more kills than the budget allows
+        plan = FaultPlan(
+            [Fault(kind="rank_kill", step=2, rank=0) for _ in range(4)],
+            seed=SEED,
+        )
+        print(plan.describe())
+        store = CheckpointStore(tmp_path, keep=3)
+        with pytest.raises(DivergenceError) as info:
+            run_campaign(
+                dsim, STEPS, phi0, mu0,
+                store=store, checkpoint_every=3,
+                fault_plan=plan, max_restarts=2,
+            )
+        assert info.value.attempts == 2
+
+
+class TestSpmdRetry:
+    def test_run_spmd_annotates_failing_rank(self):
+        def fn(comm):
+            if comm.rank == 1:
+                raise InjectedFault("rank_kill", rank=comm.rank)
+            comm.barrier()
+
+        with pytest.raises(InjectedFault) as info:
+            run_spmd(2, fn)
+        assert info.value.simmpi_rank == 1
+
+    def test_run_spmd_resilient_retries_with_fresh_args(self):
+        plan = FaultPlan([Fault(kind="rank_kill", step=0, rank=0)], seed=SEED)
+        attempts_seen = []
+
+        def fn(comm, attempt):
+            fault = plan.fires("rank_kill", step=0, rank=comm.rank)
+            if fault is not None:
+                raise InjectedFault("rank_kill", rank=comm.rank)
+            return (comm.rank, attempt)
+
+        def make_args(attempt, last_exc):
+            attempts_seen.append((attempt, type(last_exc).__name__))
+            return (attempt,), {}
+
+        results = run_spmd_resilient(2, fn, make_args, max_attempts=3)
+        assert results == [(0, 1), (1, 1)]
+        assert attempts_seen[0] == (0, "NoneType")
+        assert attempts_seen[1][1] in ("InjectedFault", "RemoteError")
+
+    def test_run_spmd_resilient_exhausts(self):
+        def fn(comm):
+            raise RuntimeError("always broken")
+
+        with pytest.raises(RuntimeError, match="always broken"):
+            run_spmd_resilient(1, fn, lambda a, e: ((), {}), max_attempts=2)
+
+
+class TestFaultyComm:
+    def test_drop_raises_on_sender(self):
+        plan = FaultPlan([Fault(kind="msg_drop", step=0, rank=0)], seed=SEED)
+
+        def fn(comm):
+            fc = FaultyComm(comm, plan)
+            if comm.rank == 0:
+                fc.send(np.ones(3), dest=1, tag=9)
+            else:
+                return comm.recv(0, tag=9)
+
+        with pytest.raises(InjectedFault, match="msg_drop"):
+            run_spmd(2, fn)
+
+    def test_corrupt_poisons_payload(self):
+        plan = FaultPlan([Fault(kind="msg_corrupt", step=0, rank=0)], seed=SEED)
+
+        def fn(comm):
+            fc = FaultyComm(comm, plan)
+            if comm.rank == 0:
+                fc.send(np.ones(6), dest=1, tag=9)
+                return None
+            return comm.recv(0, tag=9)
+
+        results = run_spmd(2, fn)
+        assert np.isnan(results[1]).any()
+        assert not np.isnan(results[1]).all()

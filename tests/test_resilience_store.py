@@ -1,0 +1,93 @@
+"""Tests of the rotating, quarantining checkpoint store."""
+
+import numpy as np
+import pytest
+
+from repro.core.solver import Simulation
+from repro.resilience import CheckpointStore, Fault, FaultPlan
+
+
+@pytest.fixture
+def sim():
+    s = Simulation(shape=(5, 8), kernel="buffered")
+    s.initialize_voronoi(seed=3, n_seeds=3)
+    return s
+
+
+class TestRotation:
+    def test_keeps_last_k(self, sim, tmp_path):
+        store = CheckpointStore(tmp_path, keep=2)
+        for _ in range(4):
+            sim.step(2)
+            store.save(sim)
+        paths = store.checkpoints()
+        assert len(paths) == 2
+        steps = [int(p.stem.split("-")[-1]) for p in paths]
+        assert steps == [6, 8]
+
+    def test_save_state_names_by_step(self, sim, tmp_path):
+        store = CheckpointStore(tmp_path, keep=3)
+        sim.step(5)
+        path = store.save(sim)
+        assert path == store.path_for(5)
+        assert path.exists()
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            CheckpointStore(tmp_path, keep=0)
+
+
+class TestLoadLatest:
+    def test_empty_store_returns_none(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.load_latest() is None
+
+    def test_loads_newest(self, sim, tmp_path):
+        store = CheckpointStore(tmp_path, keep=3)
+        for _ in range(3):
+            sim.step(1)
+            store.save(sim)
+        state = store.load_latest()
+        assert state["step_count"] == 3
+        np.testing.assert_allclose(state["phi"], sim.phi.interior_src, atol=1e-6)
+
+    def test_corrupt_newest_quarantined_older_served(self, sim, tmp_path):
+        store = CheckpointStore(tmp_path, keep=3)
+        sim.step(1)
+        store.save(sim)
+        sim.step(1)
+        newest = store.save(sim)
+        blob = newest.read_bytes()
+        newest.write_bytes(blob[: len(blob) // 3])
+
+        state = store.load_latest()
+        assert state["step_count"] == 1
+        quarantined = store.quarantined()
+        assert [p.name for p in quarantined] == [newest.name]
+        assert not newest.exists()
+
+    def test_all_corrupt_returns_none(self, sim, tmp_path):
+        store = CheckpointStore(tmp_path, keep=3)
+        sim.step(1)
+        store.save(sim)
+        sim.step(1)
+        store.save(sim)
+        for p in store.checkpoints():
+            p.write_bytes(b"not a checkpoint at all")
+        assert store.load_latest() is None
+        assert len(store.quarantined()) == 2
+        assert store.checkpoints() == []
+
+
+class TestTruncationFault:
+    def test_scheduled_truncation_corrupts_that_generation(self, sim, tmp_path):
+        plan = FaultPlan([Fault(kind="ckpt_truncate", step=2)], seed=5)
+        store = CheckpointStore(tmp_path, keep=3, fault_plan=plan)
+        sim.step(1)
+        store.save(sim)
+        sim.step(1)
+        store.save(sim)  # this write is truncated by the fault
+        assert len(plan.fired()) == 1
+        state = store.load_latest()
+        assert state["step_count"] == 1
+        assert len(store.quarantined()) == 1

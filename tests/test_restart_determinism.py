@@ -1,0 +1,88 @@
+"""Restart determinism: checkpoint at N, restore, continue to M.
+
+The continued run must match an uninterrupted run to the float32
+rounding of the stored state — serial and distributed (including the
+Algorithm 2 communication-hiding schedule).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.nucleation import smooth_phase_field, voronoi_initial_condition
+from repro.core.solver import Simulation
+from repro.distributed import DistributedSimulation
+from repro.resilience import CheckpointStore
+from repro.thermo.system import TernaryEutecticSystem
+
+SHAPE = (12, 20)
+N, M = 4, 9  # checkpoint step, final step
+
+
+@pytest.fixture(scope="module")
+def setup():
+    system = TernaryEutecticSystem()
+    phi0, mu0 = voronoi_initial_condition(system, SHAPE, solid_height=7, n_seeds=4)
+    phi0 = smooth_phase_field(phi0, 2)
+    return system, phi0, mu0
+
+
+def test_serial_restart_matches_uninterrupted(setup, tmp_path):
+    system, phi0, mu0 = setup
+    sim = Simulation(shape=SHAPE, system=system, kernel="buffered")
+    sim.initialize(phi0, mu0)
+    sim.step(N)
+    store = CheckpointStore(tmp_path, keep=2)
+    store.save(sim)
+    sim.step(M - N)  # uninterrupted continuation
+
+    fresh = Simulation(
+        shape=SHAPE, system=system, kernel="buffered",
+        params=sim.params, temperature=sim.temperature,
+    )
+    fresh.load_state(store.load_latest())
+    assert fresh.step_count == N
+    assert fresh.time == pytest.approx(N * sim.params.dt)
+    fresh.step(M - N)
+    np.testing.assert_allclose(
+        fresh.phi.interior_src, sim.phi.interior_src, atol=1e-4
+    )
+    np.testing.assert_allclose(
+        fresh.mu.interior_src, sim.mu.interior_src, atol=1e-4
+    )
+
+
+@pytest.mark.parametrize("overlap", [False, True])
+def test_distributed_restart_matches_uninterrupted(setup, tmp_path, overlap):
+    system, phi0, mu0 = setup
+    dsim = DistributedSimulation(
+        SHAPE, (2, 2), system=system, kernel="buffered", overlap=overlap
+    )
+    uninterrupted = dsim.run(M, phi0, mu0)
+
+    first = dsim.run(N, phi0, mu0)
+    store = CheckpointStore(tmp_path / f"overlap-{overlap}", keep=2)
+    store.save_state({
+        "phi": first.phi, "mu": first.mu,
+        "time": N * dsim.params.dt, "step_count": N,
+        "z_offset": 0, "kernel": dsim.kernel,
+    })
+    state = store.load_latest()
+    resumed = dsim.run(
+        M - N, state["phi"], state["mu"],
+        t0=state["time"], step0=state["step_count"],
+    )
+    np.testing.assert_allclose(resumed.phi, uninterrupted.phi, atol=1e-4)
+    np.testing.assert_allclose(resumed.mu, uninterrupted.mu, atol=1e-4)
+
+
+def test_distributed_chunked_equals_single_run(setup):
+    """t0/step0 continuation without a checkpoint is exact (float64)."""
+    system, phi0, mu0 = setup
+    dsim = DistributedSimulation(SHAPE, (2, 1), system=system, kernel="buffered")
+    whole = dsim.run(M, phi0, mu0)
+    first = dsim.run(N, phi0, mu0)
+    rest = dsim.run(
+        M - N, first.phi, first.mu, t0=N * dsim.params.dt, step0=N
+    )
+    np.testing.assert_array_equal(rest.phi, whole.phi)
+    np.testing.assert_array_equal(rest.mu, whole.mu)

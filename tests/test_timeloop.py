@@ -132,3 +132,47 @@ class TestDrivesRealStep:
         tl.run(4)
         np.testing.assert_array_equal(b.phi.interior_src, a.phi.interior_src)
         np.testing.assert_array_equal(b.mu.interior_src, a.mu.interior_src)
+
+
+class TestFailureAnnotation:
+    def test_functor_error_carries_name_and_step(self):
+        from repro.grid.timeloop import FunctorError
+
+        tl = Timeloop()
+        tl.add("ok", lambda: None)
+        state = {"n": 0}
+
+        def flaky():
+            state["n"] += 1
+            if state["n"] == 3:
+                raise RuntimeError("kaboom")
+
+        tl.add("flaky-sweep", flaky)
+        tl.run(2)
+        with pytest.raises(FunctorError, match="flaky-sweep.*step 2") as info:
+            tl.run(5)
+        assert info.value.functor == "flaky-sweep"
+        assert info.value.step == 2
+        assert isinstance(info.value.original, RuntimeError)
+
+    def test_partial_steps_in_timing_report(self):
+        tl = Timeloop()
+        tl.add("a", lambda: None)
+
+        def boom():
+            raise ValueError("x")
+
+        tl.add("b", boom)
+        from repro.grid.timeloop import FunctorError
+
+        with pytest.raises(FunctorError):
+            tl.run(3)
+        report = tl.timing_report()
+        assert report["steps"] == 0
+        assert report["partial_steps"] == 1
+        # the failing invocation is still timed, but not counted completed
+        assert report["functors"]["b"]["calls"] == 0
+        assert report["functors"]["b"]["seconds"] >= 0.0
+        assert report["functors"]["a"]["calls"] == 1
+        tl.reset_timers()
+        assert tl.timing_report()["partial_steps"] == 0
