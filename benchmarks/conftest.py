@@ -1,26 +1,41 @@
 """Shared infrastructure of the figure-reproduction benchmarks.
 
 Every benchmark regenerates the data series of one paper figure and
-writes a small text report to ``benchmarks/results/`` (so the numbers
-recorded in EXPERIMENTS.md can be refreshed by re-running the suite).
+writes two reports to ``benchmarks/results/``: a human-readable text
+table (the numbers recorded in EXPERIMENTS.md) and a machine-readable
+``BENCH_<fig>.json`` run report (see :mod:`repro.telemetry.report`) that
+seeds the performance trajectory tracked across revisions.
 Use ``pytest benchmarks/ --benchmark-only`` to run them.
+
+Setting ``REPRO_BENCH_SMOKE=1`` shrinks block sizes and measurement
+times so the whole suite finishes in CI minutes; the figure-shape
+assertions that need clean timings are skipped in smoke mode, while the
+reports are still emitted and schema-validated.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
-import numpy as np
 import pytest
 
 from repro.core.kernels import make_context
 from repro.core.scenarios import fill_ghosts_periodic, make_scenario
+from repro.telemetry.report import build_run_report, write_run_report
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Smoke mode: tiny sizes / short timers for CI; set REPRO_BENCH_SMOKE=1.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
 #: Block edge used for kernel measurements (the paper uses 60^3; Python
-#: kernel rates make 32^3 a better time/precision trade-off here).
-BENCH_EDGE = 32
+#: kernel rates make 32^3 a better time/precision trade-off here, and
+#: smoke mode drops to 16^3).
+BENCH_EDGE = 16 if SMOKE else 32
+
+#: Default per-measurement wall-time budget of :func:`time_call`.
+BENCH_MIN_TIME = 0.05 if SMOKE else 0.4
 
 
 @pytest.fixture(scope="session")
@@ -65,20 +80,58 @@ def rate_of(benchmark_stats_or_seconds, cells: int) -> float:
     return cells / benchmark_stats_or_seconds / 1e6
 
 
-def time_call(fn, min_time: float = 0.4, max_repeats: int = 60) -> float:
-    """Median seconds per call (light-weight timer for table rows)."""
-    import time
+def time_call(fn, min_time: float | None = None, max_repeats: int = 60) -> float:
+    """Median seconds per call (light-weight timer for table rows).
 
-    t0 = time.perf_counter()
-    fn()
-    first = time.perf_counter() - t0
-    repeats = max(3, min(max_repeats, int(min_time / max(first, 1e-9))))
-    samples = []
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        samples.append(time.perf_counter() - t0)
-    return float(np.median(samples))
+    Delegates to :func:`repro.perf.metrics.measure_kernel_rate`, which
+    auto-ranges the batch size so even sub-microsecond calls accumulate
+    the full *min_time* of wall clock.
+    """
+    from repro.perf.metrics import measure_kernel_rate
+
+    rate = measure_kernel_rate(
+        fn, cells=1,
+        min_time=BENCH_MIN_TIME if min_time is None else min_time,
+        max_repeats=max_repeats,
+    )
+    return rate.seconds_median
+
+
+def write_bench_report(
+    results_dir: Path,
+    fig: str,
+    *,
+    config: dict,
+    grid_shape,
+    n_ranks: int,
+    steps: int,
+    wall_seconds: float,
+    mlups: float,
+    series: dict,
+    timings: dict | None = None,
+    counters: dict | None = None,
+) -> dict:
+    """Write the ``BENCH_<fig>.json`` run report of one figure benchmark.
+
+    *series* carries the regenerated figure data (curves/tables keyed by
+    scenario), stored under the report's ``series`` key so downstream
+    tooling can track the trajectory of every point, not only the
+    headline MLUP/s.
+    """
+    report = build_run_report(
+        run_id=f"bench-{fig}",
+        config={"benchmark": fig, "smoke": SMOKE, **config},
+        grid_shape=grid_shape,
+        n_ranks=n_ranks,
+        steps=steps,
+        wall_seconds=wall_seconds,
+        mlups=mlups,
+        timings=timings,
+        counters=counters,
+        series=series,
+    )
+    write_run_report(results_dir / f"BENCH_{fig}.json", report)
+    return report
 
 
 @pytest.fixture(scope="session")

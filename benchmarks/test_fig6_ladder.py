@@ -10,12 +10,21 @@ blocks; all optimizations combined give a large total speedup over the
 general-purpose baseline.
 """
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.core.kernels import LADDER, get_mu_kernel, get_phi_kernel, make_context
 from repro.core.scenarios import fill_ghosts_periodic, make_scenario
-from conftest import rate_of, time_call, write_report
+from conftest import (
+    BENCH_EDGE,
+    SMOKE,
+    rate_of,
+    time_call,
+    write_bench_report,
+    write_report,
+)
 
 SCENARIOS = ("interface", "liquid", "solid")
 FAST_RUNGS = [r for r in LADDER if r != "reference"]
@@ -45,13 +54,16 @@ def test_mu_rung_rate(benchmark, bench_blocks, scenario, rung):
 
 def _reference_rate(kind: str) -> float:
     """Pure-Python baseline rate, measured on a tiny interface block."""
-    shape = (6, 6, 8)
+    shape = (4, 4, 6) if SMOKE else (6, 6, 8)
     cells = int(np.prod(shape))
     phi, mu, tg, system, params = make_scenario("interface", shape, seed=0)
     ctx = make_context(system, params)
+    ref_min_time = 0.05 if SMOKE else 0.3
     if kind == "phi":
         kern = get_phi_kernel("reference")
-        sec = time_call(lambda: kern(ctx, phi, mu, tg), min_time=0.3, max_repeats=3)
+        sec = time_call(
+            lambda: kern(ctx, phi, mu, tg), min_time=ref_min_time, max_repeats=3
+        )
     else:
         phi_dst = phi.copy()
         phi_dst[(slice(None),) + (slice(1, -1),) * 3] = get_phi_kernel("buffered")(
@@ -61,7 +73,7 @@ def _reference_rate(kind: str) -> float:
         kern = get_mu_kernel("reference")
         sec = time_call(
             lambda: kern(ctx, mu, phi, phi_dst, tg, tg - 0.01),
-            min_time=0.3, max_repeats=3,
+            min_time=ref_min_time, max_repeats=3,
         )
     return rate_of(sec, cells)
 
@@ -88,7 +100,21 @@ def test_fig6_shape_and_report(benchmark, bench_blocks, results_dir):
         for k in ("phi", "mu"):
             ref[k] = _reference_rate(k)
 
+    wall0 = time.perf_counter()
     benchmark.pedantic(measure, rounds=1, iterations=1)
+    wall = time.perf_counter() - wall0
+
+    write_bench_report(
+        results_dir, "fig6_ladder",
+        config={"edge": BENCH_EDGE, "rungs": FAST_RUNGS,
+                "scenarios": list(SCENARIOS)},
+        grid_shape=(BENCH_EDGE,) * 3,
+        n_ranks=1,
+        steps=len(FAST_RUNGS) * len(SCENARIOS) * 2,
+        wall_seconds=wall,
+        mlups=max(max(v.values()) for v in rows["phi"].values()),
+        series={"phi": rows["phi"], "mu": rows["mu"], "reference": ref},
+    )
 
     lines = ["Fig. 6 reproduction: optimization-ladder MLUP/s", ""]
     for kind in ("phi", "mu"):
@@ -104,6 +130,14 @@ def test_fig6_shape_and_report(benchmark, bench_blocks, results_dir):
             )
         lines.append("")
     write_report(results_dir, "fig6_ladder.txt", lines)
+
+    # every rung produced a positive rate (also holds in smoke mode)
+    for kind in ("phi", "mu"):
+        for scenario in SCENARIOS:
+            assert all(v > 0 for v in rows[kind][scenario].values())
+    if SMOKE:
+        # smoke timings are too short for the figure-shape claims below
+        return
 
     iface_mu = rows["mu"]["interface"]
     # staggered buffering ~2x on the mu-kernel (paper: "almost a factor of two")

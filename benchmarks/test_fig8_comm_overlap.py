@@ -13,6 +13,8 @@ runtime measures the exchange routines (pack + wire inside one process) at
 small rank counts, confirming the phi > mu ordering end-to-end.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -20,14 +22,36 @@ from repro.core.nucleation import smooth_phase_field, voronoi_initial_condition
 from repro.distributed import DistributedSimulation
 from repro.perf.machines import SUPERMUC
 from repro.perf.scaling import comm_time_per_step, weak_scaling_curve
+from repro.telemetry import RunTelemetry
 from repro.thermo.system import TernaryEutecticSystem
-from conftest import write_report
+from conftest import SMOKE, write_bench_report, write_report
 
 CORES = [2**k for k in range(5, 13)]
 
 
-def test_fig8_model_and_report(benchmark, results_dir):
+def _telemetry_anchor_run(tmp_dir):
+    """A 2-rank telemetry-enabled run anchoring the JSON report.
+
+    The model curves above are analytic; this run contributes a genuine
+    cross-rank timing tree (comm vs compute breakdown) and a measured
+    MLUP/s to ``BENCH_fig8_comm_overlap.json``.
+    """
+    shape = (8, 8, 12) if SMOKE else (12, 12, 16)
+    steps = 2 if SMOKE else 4
+    system = TernaryEutecticSystem()
+    phi0, mu0 = voronoi_initial_condition(system, shape, solid_height=4,
+                                          n_seeds=4)
+    phi0 = smooth_phase_field(phi0, 2)
+    d = DistributedSimulation(shape, (2, 1, 1), system=system,
+                              kernel="buffered")
+    res = d.run(steps, phi0, mu0,
+                telemetry=RunTelemetry(directory=tmp_dir, run_id="fig8"))
+    return res
+
+
+def test_fig8_model_and_report(benchmark, results_dir, tmp_path):
     curves = {}
+    anchor = {}
 
     def measure():
         for op in (False, True):
@@ -35,8 +59,35 @@ def test_fig8_model_and_report(benchmark, results_dir):
                 curves[(op, om)] = comm_time_per_step(
                     SUPERMUC, CORES, overlap_phi=op, overlap_mu=om
                 )
+        anchor["res"] = _telemetry_anchor_run(tmp_path)
 
+    wall0 = time.perf_counter()
     benchmark.pedantic(measure, rounds=1, iterations=1)
+    wall = time.perf_counter() - wall0
+
+    res = anchor["res"]
+    assert res.timing is not None and res.report is not None
+    assert res.report["mlups"] > 0
+    write_bench_report(
+        results_dir, "fig8_comm_overlap",
+        config={"cores": CORES, "anchor": res.report["config"]},
+        grid_shape=res.report["grid"]["shape"],
+        n_ranks=res.report["ranks"],
+        steps=res.report["steps"],
+        wall_seconds=wall,
+        mlups=res.report["mlups"],
+        timings=res.timing,
+        counters=res.counters,
+        series={
+            "model_ms": {
+                f"ov_phi={op} ov_mu={om}": [
+                    {"phi": ct.phi * 1e3, "mu": ct.mu * 1e3}
+                    for ct in curves[(op, om)]
+                ]
+                for op in (False, True) for om in (False, True)
+            },
+        },
+    )
 
     lines = [
         "Fig. 8 reproduction: communication time per step (ms), SuperMUC model,",

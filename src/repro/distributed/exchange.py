@@ -23,17 +23,49 @@ __all__ = ["exchange_ghosts", "ExchangeTimer"]
 
 
 class ExchangeTimer:
-    """Accumulates wall time and byte counts spent in ghost exchange."""
+    """Accumulates wall time and byte counts spent in ghost exchange.
 
-    def __init__(self) -> None:
+    Beyond the plain totals, per-call extrema are tracked so a timing
+    report can show jitter (a late neighbour, an injected delay fault)
+    rather than only the mean; an optional
+    :class:`repro.telemetry.timing.TimingTree` receives the same
+    measured duration under *scope*, keeping tree and timer in exact
+    agreement.
+    """
+
+    def __init__(self, tree=None, scope: str = "exchange") -> None:
         self.seconds = 0.0
         self.bytes = 0
         self.messages = 0
+        self.calls = 0
+        self.min_seconds = float("inf")
+        self.max_seconds = 0.0
+        self.tree = tree
+        self.scope = scope
 
     def add(self, seconds: float, nbytes: int, messages: int) -> None:
         self.seconds += seconds
         self.bytes += nbytes
         self.messages += messages
+        self.calls += 1
+        if seconds < self.min_seconds:
+            self.min_seconds = seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+        if self.tree is not None:
+            self.tree.record(self.scope, seconds)
+
+    def stats(self) -> dict:
+        """Structured dump (count/total/avg/min/max seconds, bytes, msgs)."""
+        return {
+            "calls": self.calls,
+            "total": self.seconds,
+            "avg": self.seconds / self.calls if self.calls else 0.0,
+            "min": self.min_seconds if self.calls else 0.0,
+            "max": self.max_seconds,
+            "bytes": self.bytes,
+            "messages": self.messages,
+        }
 
 
 def _slab(arr: np.ndarray, dim: int, k: int, which: str, g: int = 1):

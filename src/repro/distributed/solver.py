@@ -22,6 +22,8 @@ handling routines can also be interchanged without altering the results".
 
 from __future__ import annotations
 
+import logging
+import time as _time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -42,6 +44,8 @@ from repro.simmpi.runtime import run_spmd
 from repro.thermo.system import TernaryEutecticSystem
 
 __all__ = ["DistributedSimulation", "DistributedResult", "RankStats"]
+
+logger = logging.getLogger(__name__)
 
 _KERNEL_FLAGS = {
     "fused": dict(full_field_t=True, buffered=False, shortcuts=False),
@@ -65,11 +69,20 @@ class RankStats:
 
 @dataclass
 class DistributedResult:
-    """Gathered outcome of a distributed run."""
+    """Gathered outcome of a distributed run.
+
+    With telemetry enabled, *timing* carries the cross-rank-reduced
+    timing tree (see :mod:`repro.telemetry.reduce`), *counters* the
+    summed per-rank counter snapshots, and *report* the schema-valid
+    :mod:`repro.telemetry.report` document of the run.
+    """
 
     phi: np.ndarray
     mu: np.ndarray
     stats: list[RankStats] = field(default_factory=list)
+    timing: dict | None = None
+    counters: dict | None = None
+    report: dict | None = None
 
 
 class DistributedSimulation:
@@ -160,6 +173,7 @@ class DistributedSimulation:
         step0: int = 0,
         fault_plan=None,
         guard: bool = False,
+        telemetry=None,
     ) -> DistributedResult:
         """Advance *steps* steps from the global initial interior state.
 
@@ -170,35 +184,121 @@ class DistributedSimulation:
         per-step finiteness check on every rank that turns silent NaN
         contamination (e.g. from a corrupted ghost message) into an
         :class:`~repro.resilience.errors.InvariantViolation` abort.
+
+        *telemetry* — a :class:`repro.telemetry.RunTelemetry` — makes
+        every rank collect a timing tree (compute vs. communication vs.
+        guard, the Fig. 8 readout), stream structured events and sample
+        counters; the trees are reduced across ranks inside the SPMD
+        region and the merged breakdown, counter sums and a schema-valid
+        run report are attached to the result (and written to
+        ``telemetry.directory`` when set).  ``None`` leaves the hot path
+        untouched.
         """
         if phi0.shape != (self.system.n_phases,) + self.shape:
             raise ValueError(f"phi0 must have shape (N,){self.shape}")
         if mu0.shape != (self.system.n_solutes,) + self.shape:
             raise ValueError(f"mu0 must have shape (K-1,){self.shape}")
 
+        wall0 = _time.perf_counter()
         results = run_spmd(
             self.n_ranks, self._rank_main, steps, phi0, mu0,
             t0=t0, step0=step0, fault_plan=fault_plan, guard=guard,
+            telemetry=telemetry,
         )
+        wall = _time.perf_counter() - wall0
 
         phi = np.empty_like(phi0)
         mu = np.empty_like(mu0)
         stats = []
+        extras = []
         for rank_result in results:
-            blocks, st = rank_result
+            blocks, st, extra = rank_result
             stats.append(st)
+            extras.append(extra)
             for bid, (phi_loc, mu_loc) in blocks.items():
                 block = self.forest.blocks[bid]
                 sl = (slice(None),) + self._block_slices(block)
                 phi[sl] = phi_loc
                 mu[sl] = mu_loc
-        return DistributedResult(phi=phi, mu=mu, stats=stats)
+        result = DistributedResult(phi=phi, mu=mu, stats=stats)
+        if telemetry is not None:
+            self._finalize_telemetry(
+                result, telemetry, extras, steps=steps, wall=wall,
+                fault_plan=fault_plan, guard=guard,
+            )
+        return result
+
+    def _finalize_telemetry(
+        self, result: DistributedResult, telemetry, extras, *,
+        steps: int, wall: float, fault_plan, guard: bool,
+    ) -> None:
+        """Merge per-rank telemetry and emit the run report."""
+        from repro.telemetry.report import build_run_report, write_run_report
+
+        result.timing = next(
+            (e["tree"] for e in extras if e and e.get("tree")), None
+        )
+        counters: dict = {}
+        for extra in extras:
+            for name, value in (extra or {}).get("counters", {}).items():
+                if name.startswith("mlups"):
+                    counters[name] = max(counters.get(name, 0.0), value)
+                else:
+                    counters[name] = counters.get(name, 0) + value
+        result.counters = counters
+
+        cells = int(np.prod(self.shape))
+        mlups = steps * cells / wall / 1.0e6 if wall > 0 else 0.0
+        merged_events = telemetry.merge_events()
+        event_count = len(merged_events) or sum(
+            (extra or {}).get("event_count", 0) for extra in extras
+        )
+        event_path = (
+            str(telemetry.directory / "events-merged.jsonl")
+            if telemetry.directory is not None else None
+        )
+        fault_stats = None
+        if fault_plan is not None:
+            fault_stats = {
+                "fired": [
+                    {"kind": f.kind, "step": s, "rank": r}
+                    for f, s, r in fault_plan.fired()
+                ],
+                "pending": len(fault_plan.pending()),
+            }
+        report = build_run_report(
+            run_id=telemetry.run_id,
+            config={
+                "shape": list(self.shape),
+                "blocks_per_axis": list(self.forest.blocks_per_axis),
+                "n_ranks": self.n_ranks,
+                "kernel": self.kernel,
+                "overlap": self.overlap,
+                "guard": guard,
+                "dt": self.params.dt,
+            },
+            grid_shape=self.shape,
+            n_ranks=self.n_ranks,
+            steps=steps,
+            wall_seconds=wall,
+            mlups=mlups,
+            timings=result.timing,
+            counters=counters,
+            event_stats={"count": event_count, "path": event_path},
+            fault_stats=fault_stats,
+        )
+        result.report = report
+        path = telemetry.report_path()
+        if path is not None:
+            write_run_report(path, report)
+            logger.info("run report written to %s", path)
 
     # ------------------------------------------------------------------ #
 
     def _rank_main(self, comm, steps: int, phi0, mu0, *,
                    t0: float = 0.0, step0: int = 0,
-                   fault_plan=None, guard: bool = False):
+                   fault_plan=None, guard: bool = False,
+                   telemetry=None):
         if fault_plan is not None:
             from repro.resilience.faults import FaultyComm
 
@@ -209,6 +309,42 @@ class DistributedSimulation:
         mu_kernel = get_mu_kernel(self.kernel)
         flags = _KERNEL_FLAGS.get(self.kernel)
         owned = [b for b in self.forest.blocks if self.owner[b.id] == comm.rank]
+
+        tree = events = heartbeat = registry = None
+        if telemetry is not None:
+            from repro.telemetry.counters import Heartbeat, MetricsRegistry
+            from repro.telemetry.timing import TimingTree
+
+            tree = TimingTree()
+            events = telemetry.open_events(comm.rank)
+            registry = MetricsRegistry()
+            cells_owned = sum(int(np.prod(b.shape)) for b in owned)
+            heartbeat = Heartbeat(
+                registry, cells_per_step=cells_owned,
+                every=telemetry.heartbeat_every, events=events,
+            )
+            events.emit(
+                "run_start", steps=steps, step0=step0,
+                blocks=len(owned), cells=cells_owned,
+            )
+        try:
+            return self._rank_loop(
+                comm, steps, phi0, mu0, t0=t0, step0=step0,
+                fault_plan=fault_plan, guard=guard,
+                ctx=ctx, phi_kernel=phi_kernel, mu_kernel=mu_kernel,
+                flags=flags, owned=owned, tree=tree, events=events,
+                heartbeat=heartbeat, registry=registry,
+            )
+        except BaseException as exc:
+            if events is not None:
+                events.emit("rank_failed", "ERROR", error=repr(exc))
+                events.close()
+            raise
+
+    def _rank_loop(self, comm, steps: int, phi0, mu0, *,
+                   t0: float, step0: int, fault_plan, guard: bool,
+                   ctx, phi_kernel, mu_kernel, flags, owned,
+                   tree, events, heartbeat, registry):
 
         # initial state: root scatters per-rank block bundles
         if comm.rank == 0:
@@ -234,8 +370,9 @@ class DistributedSimulation:
             phi_fields[b.id] = pf
             mu_fields[b.id] = mf
 
-        timer_phi = ExchangeTimer()
-        timer_mu = ExchangeTimer()
+        timer_phi = ExchangeTimer(tree, "comm/phi")
+        timer_mu = ExchangeTimer(tree, "comm/mu")
+        _pc = _time.perf_counter
 
         def exchange(fields: dict[int, Field], buffer: str, spec, tag, timer):
             arrays = {bid: getattr(f, buffer) for bid, f in fields.items()}
@@ -260,6 +397,11 @@ class DistributedSimulation:
                 if fault is not None:
                     from repro.resilience.errors import InjectedFault
 
+                    if events is not None:
+                        events.emit(
+                            "fault", "ERROR", fault="rank_kill",
+                            step=global_step,
+                        )
                     raise InjectedFault(
                         "rank_kill", step=global_step, rank=comm.rank
                     )
@@ -269,6 +411,11 @@ class DistributedSimulation:
                 if fault is not None and owned:
                     from repro.resilience.faults import poison
 
+                    if events is not None:
+                        events.emit(
+                            "fault", "WARNING", fault="nan_inject",
+                            step=global_step,
+                        )
                     poison(phi_fields[owned[0].id].interior_src)
             temps = {}
             for b in owned:
@@ -281,37 +428,50 @@ class DistributedSimulation:
 
             if not self.overlap:
                 # Algorithm 1
+                mark = _pc() if tree is not None else 0.0
                 for b in owned:
                     t_old, _ = temps[b.id]
                     phi_fields[b.id].interior_dst[...] = phi_kernel(
                         ctx, phi_fields[b.id].src, mu_fields[b.id].src, t_old
                     )
+                if tree is not None:
+                    tree.record("compute/phi", _pc() - mark)
                 exchange(phi_fields, "dst", self.phi_bc, 5000, timer_phi)
+                mark = _pc() if tree is not None else 0.0
                 for b in owned:
                     t_old, t_new = temps[b.id]
                     mu_fields[b.id].interior_dst[...] = mu_kernel(
                         ctx, mu_fields[b.id].src, phi_fields[b.id].src,
                         phi_fields[b.id].dst, t_old, t_new,
                     )
+                if tree is not None:
+                    tree.record("compute/mu", _pc() - mark)
                 exchange(mu_fields, "dst", self.mu_bc, 7000, timer_mu)
             else:
                 # Algorithm 2: the phi sweep needs only local mu values, so
                 # the (deferred) mu ghost refresh hides behind it; the phi
                 # exchange hides behind the local part of the split mu sweep.
+                mark = _pc() if tree is not None else 0.0
                 for b in owned:
                     t_old, _ = temps[b.id]
                     phi_fields[b.id].interior_dst[...] = phi_kernel(
                         ctx, phi_fields[b.id].src, mu_fields[b.id].src, t_old
                     )
+                if tree is not None:
+                    tree.record("compute/phi", _pc() - mark)
                 if mu_ghosts_stale:
                     exchange(mu_fields, "src", self.mu_bc, 3000, timer_mu)
+                mark = _pc() if tree is not None else 0.0
                 for b in owned:
                     t_old, t_new = temps[b.id]
                     mu_fields[b.id].interior_dst[...] = mu_step_local_impl(
                         ctx, mu_fields[b.id].src, phi_fields[b.id].src,
                         phi_fields[b.id].dst, t_old, t_new, **flags,
                     )
+                if tree is not None:
+                    tree.record("compute/mu_local", _pc() - mark)
                 exchange(phi_fields, "dst", self.phi_bc, 5000, timer_phi)
+                mark = _pc() if tree is not None else 0.0
                 for b in owned:
                     t_old, _ = temps[b.id]
                     mu_fields[b.id].interior_dst[...] = mu_step_neighbor_impl(
@@ -319,6 +479,8 @@ class DistributedSimulation:
                         phi_fields[b.id].src, phi_fields[b.id].dst, t_old,
                         **flags,
                     )
+                if tree is not None:
+                    tree.record("compute/mu_neighbor", _pc() - mark)
                 mu_ghosts_stale = True
 
             for b in owned:
@@ -326,16 +488,32 @@ class DistributedSimulation:
                 mu_fields[b.id].swap()
             time_now += dt
             if guard:
+                mark = _pc() if tree is not None else 0.0
                 for b in owned:
                     phi_i = phi_fields[b.id].interior_src
                     mu_i = mu_fields[b.id].interior_src
                     if not (np.isfinite(phi_i).all() and np.isfinite(mu_i).all()):
                         from repro.resilience.errors import InvariantViolation
 
+                        if events is not None:
+                            events.emit(
+                                "guard_trip", "ERROR", block=b.id,
+                                step=global_step + 1,
+                                reason="non-finite field values",
+                            )
+                        logger.warning(
+                            "guard tripped: non-finite values in block %d "
+                            "at step %d (rank %d)",
+                            b.id, global_step + 1, comm.rank,
+                        )
                         raise InvariantViolation(
                             f"non-finite field values in block {b.id}",
                             step=global_step + 1, rank=comm.rank,
                         )
+                if tree is not None:
+                    tree.record("guard", _pc() - mark)
+            if heartbeat is not None:
+                heartbeat.sample(global_step=global_step + 1)
 
         stats = RankStats(
             rank=comm.rank,
@@ -352,4 +530,30 @@ class DistributedSimulation:
             )
             for b in owned
         }
-        return out, stats
+        extra = None
+        if tree is not None:
+            from repro.telemetry.reduce import reduce_tree_over_ranks
+
+            registry.counter("halo_bytes").add(
+                timer_phi.bytes + timer_mu.bytes
+            )
+            registry.counter("halo_messages").add(
+                timer_phi.messages + timer_mu.messages
+            )
+            events.emit(
+                "run_end",
+                steps_done=steps,
+                comm_seconds=timer_phi.seconds + timer_mu.seconds,
+                exchange_phi=timer_phi.stats(),
+                exchange_mu=timer_mu.stats(),
+            )
+            event_count = events.count()
+            events.close()
+            merged = reduce_tree_over_ranks(comm, tree)
+            extra = {
+                "tree": merged,
+                "tree_local": tree.to_dict(),
+                "counters": registry.snapshot(),
+                "event_count": event_count,
+            }
+        return out, stats, extra

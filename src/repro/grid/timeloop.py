@@ -7,14 +7,24 @@ layer: named functors are registered in execution order, each invocation
 is timed individually, and pre-built schedules encode Algorithm 1 and the
 Algorithm 2 overlap order.  The per-functor timing is what a Fig. 8-style
 "time spent in communication" measurement reads out.
+
+Timing is read through :meth:`Timeloop.timing_report` — a structured
+``{name: {calls, total, avg, min, max, category}}`` dict — or, when a
+:class:`repro.telemetry.timing.TimingTree` is attached, through the tree
+(which then feeds the cross-rank reduction of
+:mod:`repro.telemetry.reduce`).  Poking the ``Functor`` fields directly
+still works but is deprecated; the report and the tree are the API.
 """
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 
 __all__ = ["Functor", "FunctorError", "Timeloop"]
+
+logger = logging.getLogger(__name__)
 
 
 class FunctorError(RuntimeError):
@@ -42,6 +52,11 @@ class Functor:
     Time spent in a failing invocation is still accumulated (``calls``
     only counts completed ones), so a timing report taken after a crash
     reflects the partially-completed step.
+
+    The accumulator fields (``calls``, ``seconds``, ``min_seconds``,
+    ``max_seconds``) are implementation details — read timings through
+    :meth:`Timeloop.timing_report` instead, which is stable across
+    refactors of this class.
     """
 
     name: str
@@ -49,14 +64,29 @@ class Functor:
     category: str = "compute"
     calls: int = field(default=0, init=False)
     seconds: float = field(default=0.0, init=False)
+    min_seconds: float = field(default=float("inf"), init=False)
+    max_seconds: float = field(default=0.0, init=False)
 
-    def __call__(self) -> None:
+    def __call__(self) -> float:
+        """Invoke and time the functor; returns the measured seconds."""
         t0 = time.perf_counter()
         try:
             self.fn()
         finally:
-            self.seconds += time.perf_counter() - t0
+            dt = time.perf_counter() - t0
+            self.seconds += dt
         self.calls += 1
+        if dt < self.min_seconds:
+            self.min_seconds = dt
+        if dt > self.max_seconds:
+            self.max_seconds = dt
+        return dt
+
+    def reset(self) -> None:
+        self.calls = 0
+        self.seconds = 0.0
+        self.min_seconds = float("inf")
+        self.max_seconds = 0.0
 
 
 class Timeloop:
@@ -65,12 +95,18 @@ class Timeloop:
     Functors run in registration order each time step; categories
     (``compute`` / ``communication`` / ``boundary`` / ...) make it easy to
     report "time spent in communication" separately from kernel time.
+
+    An optional :class:`repro.telemetry.timing.TimingTree` receives the
+    *same* measured duration per completed invocation (scope
+    ``timeloop/<functor-name>``), so tree totals and functor accumulators
+    agree exactly, not merely to within timer resolution.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tree=None) -> None:
         self._functors: list[Functor] = []
         self.steps = 0
         self.partial_steps = 0
+        self.tree = tree
 
     def add(self, name: str, fn, category: str = "compute") -> Functor:
         """Register a functor; returns the handle (for timing queries)."""
@@ -119,20 +155,42 @@ class Timeloop:
         """
         if steps < 0:
             raise ValueError("steps must be non-negative")
+        tree = self.tree
         for _ in range(steps):
             for f in self._functors:
                 try:
-                    f()
+                    dt = f()
                 except Exception as exc:
                     self.partial_steps += 1
+                    logger.error(
+                        "functor %r failed at step %d: %r",
+                        f.name, self.steps, exc,
+                    )
                     raise FunctorError(f.name, self.steps, exc) from exc
+                if tree is not None:
+                    tree.record(("timeloop", f.name), dt)
             self.steps += 1
 
     def timing_report(self) -> dict[str, dict]:
-        """Per-functor and per-category accumulated seconds."""
+        """Structured per-functor and per-category timing.
+
+        Per functor: ``calls``, ``total`` / ``avg`` / ``min`` / ``max``
+        seconds and the ``category``; plus per-category totals and the
+        completed/aborted step counts.  This dict (not the ``Functor``
+        fields) is the supported way to read timings; ``seconds`` is kept
+        as a deprecated alias of ``total``.
+        """
         per_functor = {
-            f.name: {"seconds": f.seconds, "calls": f.calls,
-                     "category": f.category}
+            f.name: {
+                "category": f.category,
+                "calls": f.calls,
+                "total": f.seconds,
+                "avg": f.seconds / f.calls if f.calls else 0.0,
+                "min": f.min_seconds if f.calls else 0.0,
+                "max": f.max_seconds,
+                # deprecated alias (pre-telemetry callers)
+                "seconds": f.seconds,
+            }
             for f in self._functors
         }
         per_category: dict[str, float] = {}
@@ -144,7 +202,6 @@ class Timeloop:
     def reset_timers(self) -> None:
         """Zero all accumulated timings (keep the schedule)."""
         for f in self._functors:
-            f.calls = 0
-            f.seconds = 0.0
+            f.reset()
         self.steps = 0
         self.partial_steps = 0

@@ -26,12 +26,15 @@ that predate the resilience subsystem keep working.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import zipfile
 import zlib
 from pathlib import Path
 
 import numpy as np
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "CheckpointError",
@@ -126,6 +129,10 @@ def save_state(
             kernel=np.bytes_(kernel.encode()),
         ),
     )
+    logger.debug(
+        "checkpoint saved to %s (%d payload bytes, step %d)",
+        path, phi32.nbytes + mu32.nbytes, step_count,
+    )
     return {
         "path": str(path),
         "payload_bytes": phi32.nbytes + mu32.nbytes,
@@ -164,6 +171,10 @@ def _read_archive(data) -> dict:
     mu32 = data["mu"]
     shape = tuple(int(s) for s in data["shape"])
 
+    if version < 2:
+        logger.warning(
+            "loading legacy v%d checkpoint without integrity manifest", version
+        )
     if version >= 2:
         manifest = json.loads(bytes(data["manifest"]).decode())
         for name, arr in (("phi", phi32), ("mu", mu32)):

@@ -6,9 +6,11 @@ for million lattice cell updates per second."
 
 from __future__ import annotations
 
+import math
+import statistics
 import time
 
-__all__ = ["mlups", "measure_kernel_rate"]
+__all__ = ["mlups", "KernelRate", "measure_kernel_rate"]
 
 
 def mlups(cells: int, seconds: float) -> float:
@@ -18,24 +20,95 @@ def mlups(cells: int, seconds: float) -> float:
     return cells / seconds / 1.0e6
 
 
+class KernelRate(float):
+    """A measured MLUP/s value carrying its own noise statistics.
+
+    Behaves as a plain float (the median-sample rate) in arithmetic and
+    comparisons, so existing call sites keep working; the measurement
+    detail rides along as attributes:
+
+    ``repeats``
+        number of timed samples,
+    ``calls_per_repeat``
+        kernel invocations per sample (timeit-style batching),
+    ``seconds_min`` / ``seconds_mean`` / ``seconds_median`` / ``seconds_std``
+        per-call wall time statistics over the samples,
+    ``noise``
+        relative spread ``seconds_std / seconds_min`` — the usual
+        benchmark-stability indicator (0 for a single sample).
+    """
+
+    def __new__(cls, value: float, *, samples: list, calls_per_repeat: int):
+        self = super().__new__(cls, value)
+        self.repeats = len(samples)
+        self.calls_per_repeat = calls_per_repeat
+        self.seconds_min = min(samples)
+        self.seconds_mean = statistics.fmean(samples)
+        self.seconds_median = statistics.median(samples)
+        self.seconds_std = (
+            statistics.stdev(samples) if len(samples) > 1 else 0.0
+        )
+        self.noise = (
+            self.seconds_std / self.seconds_min if self.seconds_min > 0 else 0.0
+        )
+        return self
+
+    def as_dict(self) -> dict:
+        """Structured dump for run reports and benchmark JSON."""
+        return {
+            "mlups": float(self),
+            "repeats": self.repeats,
+            "calls_per_repeat": self.calls_per_repeat,
+            "seconds_min": self.seconds_min,
+            "seconds_mean": self.seconds_mean,
+            "seconds_median": self.seconds_median,
+            "seconds_std": self.seconds_std,
+            "noise": self.noise,
+        }
+
+
 def measure_kernel_rate(
     fn,
     cells: int,
     *,
     min_time: float = 0.25,
     max_repeats: int = 50,
-) -> float:
+) -> KernelRate:
     """Measure the MLUP/s of a zero-argument kernel invocation.
 
-    One warm-up call (also used to calibrate the repeat count), then the
-    kernel is repeated until *min_time* of wall time accumulates.
+    The batch size is auto-ranged like :mod:`timeit`: starting from one
+    call per batch, the batch grows geometrically until a single batch
+    meets the per-sample time target ``min_time / max_repeats``, then
+    batches are sampled until *min_time* of wall time accumulates (or
+    *max_repeats* samples are taken).  The previous calibration derived
+    the repeat count from the *warm-up* call and capped it at
+    *max_repeats* — for a fast kernel (whose cold first call is also far
+    slower than steady state) that measured microseconds of wall time
+    against a *min_time* of a quarter second, so the result was
+    dominated by timer noise.
+
+    Returns a :class:`KernelRate`: a float (MLUP/s of the **median**
+    sample, robust against scheduler hiccups) that also exposes
+    min/mean/std per-call seconds and the relative ``noise``.
     """
-    t0 = time.perf_counter()
-    fn()
-    first = time.perf_counter() - t0
-    repeats = max(1, min(max_repeats, int(min_time / max(first, 1e-9))))
-    t0 = time.perf_counter()
-    for _ in range(repeats):
-        fn()
-    elapsed = (time.perf_counter() - t0) / repeats
-    return mlups(cells, elapsed)
+    target = min_time / max_repeats
+    calls = 1
+    while True:  # calibration batches double as warm-up
+        t0 = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        dt = time.perf_counter() - t0
+        if dt >= target * 0.5:
+            break
+        calls = max(calls * 2, math.ceil(calls * target / max(dt, 1e-9)))
+    samples: list[float] = [dt / calls]
+    total = dt
+    while total < min_time and len(samples) < max_repeats:
+        t0 = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        dt = time.perf_counter() - t0
+        samples.append(dt / calls)
+        total += dt
+    rate = mlups(cells, statistics.median(samples))
+    return KernelRate(rate, samples=samples, calls_per_repeat=calls)

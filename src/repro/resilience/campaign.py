@@ -9,10 +9,18 @@ rank failure — injected or real — reload the newest checkpoint that
 verifies and relaunch the remaining steps.  Because the dynamics are
 deterministic and faults fire once, a recovered campaign converges to
 the unfaulted result up to the float32 rounding of the restart state.
+
+With a :class:`repro.telemetry.RunTelemetry` attached, the campaign
+streams structured events (checkpoint writes, restarts, chunk
+boundaries), accumulates the cross-rank timing trees of every chunk and
+emits one run report covering the whole campaign — restarts, faults and
+all.
 """
 
 from __future__ import annotations
 
+import logging
+import time as _time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -26,6 +34,8 @@ from repro.resilience.errors import (
 from repro.simmpi.comm import RemoteError
 
 __all__ = ["CampaignResult", "run_campaign"]
+
+logger = logging.getLogger(__name__)
 
 #: Failures the campaign recovers from; anything else propagates.
 _RECOVERABLE = (InjectedFault, InvariantViolation, RemoteError, CheckpointError)
@@ -42,6 +52,8 @@ class CampaignResult:
     restarts: int
     checkpoints_written: int
     faults_fired: list = field(default_factory=list)
+    timing: dict | None = None
+    report: dict | None = None
 
 
 def run_campaign(
@@ -55,6 +67,7 @@ def run_campaign(
     max_restarts: int = 8,
     fault_plan=None,
     guard: bool = True,
+    telemetry=None,
 ) -> CampaignResult:
     """Run *steps* steps of a :class:`DistributedSimulation`, surviving faults.
 
@@ -63,6 +76,12 @@ def run_campaign(
     checkpoint fails verification, the campaign restarts from the
     pristine initial condition.  Exhausting *max_restarts* raises a
     structured :class:`DivergenceError` chained to the last failure.
+
+    *telemetry* (a :class:`repro.telemetry.RunTelemetry`) is forwarded to
+    every chunk; the per-chunk merged timing trees are accumulated into
+    :attr:`CampaignResult.timing` and a campaign-wide run report —
+    including guard/restart and fault statistics — is attached (and
+    written to ``telemetry.directory`` when set).
     """
     if checkpoint_every < 1:
         raise ValueError("checkpoint_every must be >= 1")
@@ -72,6 +91,22 @@ def run_campaign(
     step_now = 0
     restarts = 0
     checkpoints_written = 0
+    restart_reasons: list[str] = []
+
+    events = None
+    timing_total: dict | None = None
+    counters_total: dict = {}
+    wall0 = _time.perf_counter()
+    if telemetry is not None:
+        events = telemetry.open_events(0)
+        events.emit(
+            "campaign_start", steps=steps,
+            checkpoint_every=checkpoint_every, n_ranks=dsim.n_ranks,
+        )
+    logger.info(
+        "campaign: %d steps on %d ranks, checkpoint every %d",
+        steps, dsim.n_ranks, checkpoint_every,
+    )
 
     def snapshot() -> dict:
         return {
@@ -79,10 +114,17 @@ def run_campaign(
             "z_offset": 0, "kernel": dsim.kernel,
         }
 
-    store.save_state(snapshot())
-    checkpoints_written += 1
+    def checkpoint() -> None:
+        nonlocal checkpoints_written
+        path = store.save_state(snapshot())
+        checkpoints_written += 1
+        logger.info("checkpoint %d written at step %d: %s",
+                    checkpoints_written, step_now, path)
+        if events is not None:
+            events.emit("checkpoint", step=step_now, path=str(path))
 
-    last_exc = None
+    checkpoint()
+
     while step_now < steps:
         chunk = min(checkpoint_every, steps - step_now)
         try:
@@ -90,11 +132,22 @@ def run_campaign(
                 chunk, phi, mu,
                 t0=time_now, step0=step_now,
                 fault_plan=fault_plan, guard=guard,
+                telemetry=telemetry,
             )
         except _RECOVERABLE as exc:
             restarts += 1
-            last_exc = exc
+            restart_reasons.append(repr(exc))
+            logger.warning(
+                "campaign chunk failed at step %d (%r); restart %d/%d",
+                step_now, exc, restarts, max_restarts,
+            )
             if restarts > max_restarts:
+                if events is not None:
+                    events.emit(
+                        "campaign_failed", "ERROR",
+                        step=step_now, error=repr(exc), restarts=restarts - 1,
+                    )
+                    events.close()
                 raise DivergenceError(
                     step=step_now,
                     violations=[f"restart budget exhausted: {exc}"],
@@ -106,17 +159,36 @@ def run_campaign(
                 phi = np.array(phi0, dtype=float)
                 mu = np.array(mu0, dtype=float)
                 time_now, step_now = 0.0, 0
+                logger.warning("no loadable checkpoint; cold restart from t=0")
             else:
                 phi, mu = state["phi"], state["mu"]
                 time_now, step_now = state["time"], state["step_count"]
+            if events is not None:
+                events.emit(
+                    "restart", "WARNING", step=step_now,
+                    error=repr(exc), attempt=restarts,
+                )
             continue
         phi, mu = res.phi, res.mu
         time_now += chunk * dsim.params.dt
         step_now += chunk
-        store.save_state(snapshot())
-        checkpoints_written += 1
+        if telemetry is not None and res.timing is not None:
+            from repro.telemetry.reduce import accumulate_reduced
 
-    return CampaignResult(
+            timing_total = (
+                res.timing if timing_total is None
+                else accumulate_reduced(timing_total, res.timing)
+            )
+            for name, value in (res.counters or {}).items():
+                if name.startswith("mlups"):
+                    counters_total[name] = max(
+                        counters_total.get(name, 0.0), value
+                    )
+                else:
+                    counters_total[name] = counters_total.get(name, 0) + value
+        checkpoint()
+
+    result = CampaignResult(
         phi=phi,
         mu=mu,
         steps=step_now,
@@ -124,4 +196,78 @@ def run_campaign(
         restarts=restarts,
         checkpoints_written=checkpoints_written,
         faults_fired=[] if fault_plan is None else fault_plan.fired(),
+        timing=timing_total,
     )
+    if telemetry is not None:
+        _finalize_campaign_telemetry(
+            dsim, telemetry, events, result, counters_total,
+            wall=_time.perf_counter() - wall0, guard=guard,
+            fault_plan=fault_plan, restart_reasons=restart_reasons,
+        )
+    return result
+
+
+def _finalize_campaign_telemetry(
+    dsim, telemetry, events, result: CampaignResult, counters: dict, *,
+    wall: float, guard: bool, fault_plan, restart_reasons: list[str],
+) -> None:
+    from repro.telemetry.report import build_run_report, write_run_report
+
+    events.emit(
+        "campaign_end", steps=result.steps, restarts=result.restarts,
+        checkpoints=result.checkpoints_written, wall_seconds=wall,
+    )
+    event_count = events.count()
+    events.close()
+    merged_events = telemetry.merge_events()
+    cells = int(np.prod(dsim.shape))
+    fault_stats = None
+    if fault_plan is not None:
+        fault_stats = {
+            "fired": [
+                {"kind": f.kind, "step": s, "rank": r}
+                for f, s, r in fault_plan.fired()
+            ],
+            "pending": len(fault_plan.pending()),
+        }
+    report = build_run_report(
+        run_id=telemetry.run_id,
+        config={
+            "shape": list(dsim.shape),
+            "blocks_per_axis": list(dsim.forest.blocks_per_axis),
+            "n_ranks": dsim.n_ranks,
+            "kernel": dsim.kernel,
+            "overlap": dsim.overlap,
+            "guard": guard,
+            "dt": dsim.params.dt,
+            "campaign": True,
+        },
+        grid_shape=dsim.shape,
+        n_ranks=dsim.n_ranks,
+        steps=result.steps,
+        wall_seconds=wall,
+        mlups=result.steps * cells / wall / 1.0e6 if wall > 0 else 0.0,
+        timings=result.timing,
+        counters={
+            **counters,
+            "checkpoints_written": result.checkpoints_written,
+        },
+        guard_stats={
+            "rollbacks": 0,
+            "restarts": result.restarts,
+            "violations": restart_reasons,
+        },
+        fault_stats=fault_stats,
+        event_stats={
+            "count": len(merged_events) or event_count,
+            "path": (
+                str(telemetry.directory / "events-merged.jsonl")
+                if telemetry.directory is not None else None
+            ),
+        },
+    )
+    result.report = report
+    path = telemetry.report_path()
+    if path is not None:
+        write_run_report(path, report)
+        logger.info("campaign report written to %s", path)

@@ -12,6 +12,7 @@ schedule (and seed) needed to reproduce it.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time as _time
 from dataclasses import dataclass
@@ -21,6 +22,8 @@ import numpy as np
 from repro.resilience.errors import InjectedFault
 
 __all__ = ["FAULT_KINDS", "Fault", "FaultPlan", "FaultyComm", "poison"]
+
+logger = logging.getLogger(__name__)
 
 FAULT_KINDS = (
     "rank_kill",      # the rank raises InjectedFault (process crash)
@@ -94,6 +97,9 @@ class FaultPlan:
                 if f.rank is not None and rank is not None and f.rank != rank:
                     continue
                 self._fired[i] = (step, rank)
+                logger.warning(
+                    "injecting fault %s at step %d on rank %s", kind, step, rank
+                )
                 return f
         return None
 

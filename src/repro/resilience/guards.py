@@ -14,6 +14,7 @@ attempt budget is spent.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -27,6 +28,8 @@ __all__ = [
     "attach_watchdog",
     "GuardedSimulation",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 def find_violations(
@@ -152,6 +155,10 @@ class GuardedSimulation:
     fault_plan:
         Optional :class:`FaultPlan`; ``nan_inject`` faults scheduled for
         a step poison the phase field just before that step runs.
+    events:
+        Optional :class:`repro.telemetry.events.EventLog`; guard trips,
+        rollbacks, dt backoffs and checkpoint writes are emitted as
+        structured events in addition to the stdlib log records.
     """
 
     def __init__(
@@ -165,6 +172,7 @@ class GuardedSimulation:
         max_retries: int = 3,
         dt_backoff: float = 0.5,
         fault_plan=None,
+        events=None,
     ):
         if check_every < 1 or checkpoint_every < 1:
             raise ValueError("check_every and checkpoint_every must be >= 1")
@@ -178,8 +186,13 @@ class GuardedSimulation:
         self.max_retries = max_retries
         self.dt_backoff = dt_backoff
         self.fault_plan = fault_plan
+        self.events = events
         self.rollbacks = 0
         self._last_failure_step: int | None = None
+
+    def _emit(self, kind: str, level: str = "INFO", **data) -> None:
+        if self.events is not None:
+            self.events.emit(kind, level, **data)
 
     def run(self, steps: int):
         """Advance *steps* guarded steps; returns the simulation report.
@@ -198,6 +211,8 @@ class GuardedSimulation:
                 fault = self.fault_plan.fires("nan_inject", step=sim.step_count)
                 if fault is not None:
                     poison(sim.phi.interior_src)
+                    self._emit("fault", "WARNING", fault="nan_inject",
+                               step=sim.step_count)
             sim.step()
             at_checkpoint = sim.step_count % self.checkpoint_every == 0
             due = sim.step_count % self.check_every == 0
@@ -205,16 +220,23 @@ class GuardedSimulation:
                 violations = self.guard.violations(sim)
                 if violations:
                     retries += 1
+                    self._emit("guard_trip", "ERROR",
+                               step=sim.step_count, violations=violations)
                     self._rollback(violations, retries)
                     continue
             if at_checkpoint:
                 self.store.save(sim)
+                self._emit("checkpoint", step=sim.step_count)
                 retries = 0
         return sim.report()
 
     def _rollback(self, violations: list[str], retries: int) -> None:
         sim = self.sim
         failed_at = sim.step_count
+        logger.warning(
+            "guard tripped at step %d (retry %d/%d): %s",
+            failed_at, retries, self.max_retries, "; ".join(violations),
+        )
         if retries > self.max_retries:
             raise DivergenceError(
                 step=failed_at, violations=violations, attempts=retries - 1
@@ -231,6 +253,14 @@ class GuardedSimulation:
             self._last_failure_step is not None
             and failed_at <= self._last_failure_step
         ):
-            sim.set_dt(sim.params.dt * self.dt_backoff)
+            new_dt = sim.params.dt * self.dt_backoff
+            logger.warning(
+                "repeated failure at step %d: backing off dt to %.3e",
+                failed_at, new_dt,
+            )
+            sim.set_dt(new_dt)
+            self._emit("dt_backoff", "WARNING", step=failed_at, dt=new_dt)
         self._last_failure_step = failed_at
         self.rollbacks += 1
+        self._emit("rollback", "WARNING", failed_at=failed_at,
+                   resumed_at=sim.step_count, attempt=retries)

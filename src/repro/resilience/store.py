@@ -11,12 +11,15 @@ actually loads.
 
 from __future__ import annotations
 
+import logging
 import os
 from pathlib import Path
 
 from repro.io.checkpoint import CheckpointError, load_checkpoint, save_state
 
 __all__ = ["CheckpointStore"]
+
+logger = logging.getLogger(__name__)
 
 
 class CheckpointStore:
@@ -129,10 +132,11 @@ class CheckpointStore:
         for path in reversed(self.checkpoints()):
             try:
                 return load_checkpoint(path)
-            except CheckpointError:
-                self._quarantine(path)
+            except CheckpointError as exc:
+                self._quarantine(path, exc)
         return None
 
-    def _quarantine(self, path: Path) -> None:
+    def _quarantine(self, path: Path, exc: CheckpointError) -> None:
+        logger.warning("quarantining corrupt checkpoint %s: %s", path, exc)
         self.quarantine_dir.mkdir(exist_ok=True)
         os.replace(path, self.quarantine_dir / path.name)

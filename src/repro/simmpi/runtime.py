@@ -9,11 +9,14 @@ deadlocking, and the first exception is re-raised in the caller.
 
 from __future__ import annotations
 
+import logging
 import threading
 
 from repro.simmpi.comm import Communicator, RemoteError, _World
 
 __all__ = ["run_spmd", "run_spmd_resilient"]
+
+logger = logging.getLogger(__name__)
 
 
 def run_spmd(n_ranks: int, fn, *args, **kwargs) -> list:
@@ -37,6 +40,8 @@ def run_spmd(n_ranks: int, fn, *args, **kwargs) -> list:
         except BaseException as exc:  # noqa: BLE001 - repropagated below
             exc.simmpi_rank = rank
             errors[rank] = exc
+            if not isinstance(exc, RemoteError):
+                logger.error("rank %d failed: %r", rank, exc)
             world.failed.set()
             world.barrier.abort()
 
@@ -88,4 +93,8 @@ def run_spmd_resilient(
             return run_spmd(n_ranks, fn, *args, **kwargs)
         except retry_on as exc:  # noqa: PERF203 - retry loop
             last_exc = exc
+            logger.warning(
+                "SPMD attempt %d/%d failed (%r); retrying",
+                attempt + 1, max_attempts, exc,
+            )
     raise last_exc

@@ -1,0 +1,193 @@
+"""Counters, gauges and the Timeloop heartbeat functor.
+
+The paper's runs are steered by a handful of live quantities: cells
+updated (the MLUP/s numerator), bytes moved through the ghost-layer
+exchange, and failure counts.  This module provides the accumulators —
+:class:`Counter`, :class:`Gauge`, :class:`RollingRate` — bundled in a
+:class:`MetricsRegistry`, plus :func:`attach_heartbeat`, which registers
+a sampling functor on a :class:`~repro.grid.timeloop.Timeloop` so the
+registry is updated (and optionally emitted as ``heartbeat`` events)
+once per time step without touching the sweeps themselves.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "RollingRate",
+    "MetricsRegistry",
+    "Heartbeat",
+    "attach_heartbeat",
+]
+
+
+class Counter:
+    """Monotonic accumulator (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def add(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only increase; use a Gauge")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """Last-written value (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._value: float = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class RollingRate:
+    """Cell-updates-per-second over a sliding window of samples.
+
+    Each :meth:`sample` records ``(timestamp, cells_done_total)``;
+    :meth:`mlups` reads the rate across the window — the live MLUP/s
+    readout a long campaign watches for slowdowns (cache pollution,
+    shrinking window, sick node).
+    """
+
+    def __init__(self, window: int = 32):
+        if window < 2:
+            raise ValueError("window must hold at least 2 samples")
+        self._samples: deque[tuple[float, int]] = deque(maxlen=window)
+        self._lock = threading.Lock()
+
+    def sample(self, cells_total: int, *, now: float | None = None) -> None:
+        with self._lock:
+            self._samples.append(
+                (time.perf_counter() if now is None else now, int(cells_total))
+            )
+
+    def mlups(self) -> float:
+        """Window rate in MLUP/s (0 until two samples exist)."""
+        with self._lock:
+            if len(self._samples) < 2:
+                return 0.0
+            (t0, c0), (t1, c1) = self._samples[0], self._samples[-1]
+        if t1 <= t0:
+            return 0.0
+        return (c1 - c0) / (t1 - t0) / 1.0e6
+
+
+class MetricsRegistry:
+    """Named counters and gauges of one run (plus one rolling rate)."""
+
+    def __init__(self, *, window: int = 32):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self.rate = RollingRate(window=window)
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                c = Counter()
+                self._counters[name] = c
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                g = Gauge()
+                self._gauges[name] = g
+            return g
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump of every counter and gauge."""
+        with self._lock:
+            out = {name: c.value for name, c in self._counters.items()}
+            out.update(
+                {name: g.value for name, g in self._gauges.items()}
+            )
+        out["mlups_window"] = self.rate.mlups()
+        return out
+
+
+class Heartbeat:
+    """Per-step sampler shared by the Timeloop functor and manual loops.
+
+    Every :meth:`sample` advances the ``cells_updated`` counter by
+    *cells_per_step*, feeds the rolling MLUP/s window, and (every
+    *every*-th call) emits a ``heartbeat`` event with the current
+    snapshot.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        cells_per_step: int,
+        every: int = 1,
+        events=None,
+    ):
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.registry = registry
+        self.cells_per_step = int(cells_per_step)
+        self.every = every
+        self.events = events
+        self._ticks = 0
+
+    def sample(self, **extra) -> None:
+        self._ticks += 1
+        cells = self.registry.counter("cells_updated")
+        cells.add(self.cells_per_step)
+        self.registry.rate.sample(cells.value)
+        self.registry.gauge("mlups").set(self.registry.rate.mlups())
+        if self.events is not None and self._ticks % self.every == 0:
+            self.events.emit(
+                "heartbeat",
+                step=self._ticks,
+                cells_updated=cells.value,
+                mlups=self.registry.rate.mlups(),
+                **extra,
+            )
+
+    def __call__(self) -> None:
+        self.sample()
+
+
+def attach_heartbeat(
+    timeloop,
+    registry: MetricsRegistry,
+    *,
+    cells_per_step: int,
+    every: int = 1,
+    events=None,
+    name: str = "heartbeat",
+):
+    """Register a :class:`Heartbeat` functor on a Timeloop.
+
+    The functor runs last in every step (category ``"telemetry"``, so
+    timing reports separate its — tiny — overhead from compute and
+    communication).  Returns the functor handle.
+    """
+    hb = Heartbeat(
+        registry, cells_per_step=cells_per_step, every=every, events=events
+    )
+    return timeloop.add(name, hb, category="telemetry")

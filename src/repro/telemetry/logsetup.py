@@ -1,0 +1,89 @@
+"""Rank-tagged stdlib ``logging`` integration.
+
+Library modules across ``repro`` use plain module-level
+``logging.getLogger(__name__)`` loggers and **never** call
+``logging.basicConfig`` — configuring output is the application's choice.
+This module provides that configuration surface:
+
+* :func:`current_rank` — the simulated MPI rank of the calling thread
+  (parsed from the ``simmpi-rank-N`` thread names that
+  :func:`repro.simmpi.runtime.run_spmd` assigns),
+* :func:`rank_formatter` / :class:`RankTagFilter` — a formatter whose
+  records carry a ``[rank N]`` tag,
+* :func:`configure_logging` — idempotent root setup for applications,
+  demos and tests.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+
+__all__ = [
+    "current_rank",
+    "RankTagFilter",
+    "rank_formatter",
+    "configure_logging",
+]
+
+#: Logger namespace all library modules hang under.
+ROOT_LOGGER = "repro"
+
+_RANK_PREFIX = "simmpi-rank-"
+
+LOG_FORMAT = "%(asctime)s %(levelname)-8s [rank %(rank)s] %(name)s: %(message)s"
+
+
+def current_rank(default: int = 0) -> int:
+    """Simulated MPI rank of the calling thread.
+
+    :func:`repro.simmpi.runtime.run_spmd` names its rank threads
+    ``simmpi-rank-<N>``; outside an SPMD region (the launcher thread,
+    tests, single-process runs) the *default* is returned.
+    """
+    name = threading.current_thread().name
+    if name.startswith(_RANK_PREFIX):
+        try:
+            return int(name[len(_RANK_PREFIX):])
+        except ValueError:
+            pass
+    return default
+
+
+class RankTagFilter(logging.Filter):
+    """Injects the calling thread's simulated rank as ``record.rank``."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if not hasattr(record, "rank"):
+            record.rank = current_rank()
+        return True
+
+
+def rank_formatter(fmt: str = LOG_FORMAT) -> logging.Formatter:
+    """Formatter rendering the ``[rank N]`` tag of :class:`RankTagFilter`."""
+    return logging.Formatter(fmt)
+
+
+def configure_logging(
+    level: int = logging.INFO,
+    *,
+    stream=None,
+    logger: str = ROOT_LOGGER,
+) -> logging.Logger:
+    """Attach a rank-tagged stream handler to the ``repro`` logger.
+
+    Idempotent: an existing handler installed by a previous call is
+    replaced, not duplicated, so repeated test setup stays clean.  Library
+    code must not call this — only applications, examples and tests do.
+    """
+    root = logging.getLogger(logger)
+    root.setLevel(level)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_telemetry", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(rank_formatter())
+    handler.addFilter(RankTagFilter())
+    handler._repro_telemetry = True
+    root.addHandler(handler)
+    return root

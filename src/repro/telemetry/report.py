@@ -1,0 +1,268 @@
+"""Machine-readable run reports (versioned JSON performance summaries).
+
+The paper compares configurations through standardized throughput numbers
+(MLUP/s per figure, per machine); phase-field benchmarking follow-ups
+compare *codes* the same way.  A :data:`RUN_REPORT_VERSION` JSON document
+is this repo's interchange format: every benchmark and every telemetry-
+enabled run emits one, and the CI pipeline archives them as the
+performance trajectory (``BENCH_*.json``).
+
+A report is built with :func:`build_run_report`, checked with
+:func:`validate_run_report` (pure-stdlib; :data:`RUN_REPORT_SCHEMA` is
+the equivalent JSON-Schema document for external tooling) and persisted
+with :func:`write_run_report`.  ``python -m repro.telemetry.report
+FILE...`` validates existing reports, e.g. in CI.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+__all__ = [
+    "RUN_REPORT_VERSION",
+    "RUN_REPORT_SCHEMA",
+    "config_hash",
+    "build_run_report",
+    "validate_run_report",
+    "write_run_report",
+    "load_run_report",
+]
+
+RUN_REPORT_VERSION = 1
+
+_SCHEMA_NAME = "repro.run_report"
+
+#: JSON-Schema document of the report format, for external validators.
+RUN_REPORT_SCHEMA = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "title": "repro run report",
+    "type": "object",
+    "required": [
+        "schema", "version", "run_id", "created", "config", "config_hash",
+        "grid", "ranks", "steps", "wall_seconds", "mlups", "timings",
+        "counters", "guards", "faults", "events",
+    ],
+    "properties": {
+        "schema": {"const": _SCHEMA_NAME},
+        "version": {"const": RUN_REPORT_VERSION},
+        "run_id": {"type": "string", "minLength": 1},
+        "created": {"type": "number"},
+        "config": {"type": "object"},
+        "config_hash": {"type": "string", "pattern": "^[0-9a-f]{12}$"},
+        "grid": {
+            "type": "object",
+            "required": ["shape", "cells"],
+            "properties": {
+                "shape": {"type": "array", "items": {"type": "integer"}},
+                "cells": {"type": "integer", "minimum": 0},
+            },
+        },
+        "ranks": {"type": "integer", "minimum": 1},
+        "steps": {"type": "integer", "minimum": 0},
+        "wall_seconds": {"type": "number", "minimum": 0},
+        "mlups": {"type": "number", "minimum": 0},
+        "timings": {"type": ["object", "null"]},
+        "counters": {"type": "object"},
+        "guards": {
+            "type": "object",
+            "required": ["rollbacks", "restarts", "violations"],
+        },
+        "faults": {
+            "type": "object",
+            "required": ["fired", "pending"],
+        },
+        "events": {
+            "type": "object",
+            "required": ["count", "path"],
+        },
+        "series": {"type": "object"},
+    },
+}
+
+
+def config_hash(config: dict) -> str:
+    """Short stable hash of a JSON-serializable configuration dict.
+
+    Canonical JSON (sorted keys, no whitespace variation) hashed with
+    SHA-256 and truncated to 12 hex digits — enough to tell two run
+    configurations apart in a trajectory of reports.
+    """
+    blob = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:12]
+
+
+def build_run_report(
+    *,
+    run_id: str,
+    config: dict,
+    grid_shape,
+    n_ranks: int,
+    steps: int,
+    wall_seconds: float,
+    mlups: float,
+    timings: dict | None = None,
+    counters: dict | None = None,
+    guard_stats: dict | None = None,
+    fault_stats: dict | None = None,
+    event_stats: dict | None = None,
+    series: dict | None = None,
+    created: float | None = None,
+) -> dict:
+    """Assemble a schema-valid run report dict.
+
+    *timings* is a merged reduced timing tree
+    (:mod:`repro.telemetry.reduce`) or a
+    :meth:`~repro.grid.timeloop.Timeloop.timing_report` dump; *series*
+    carries optional figure data (e.g. the Fig. 6 ladder table).
+    *created* defaults to the current time — pass a fixed value for
+    byte-reproducible reports.
+    """
+    shape = [int(s) for s in grid_shape]
+    cells = 1
+    for s in shape:
+        cells *= s
+    report = {
+        "schema": _SCHEMA_NAME,
+        "version": RUN_REPORT_VERSION,
+        "run_id": str(run_id),
+        "created": time.time() if created is None else float(created),
+        "config": config,
+        "config_hash": config_hash(config),
+        "grid": {"shape": shape, "cells": cells},
+        "ranks": int(n_ranks),
+        "steps": int(steps),
+        "wall_seconds": float(wall_seconds),
+        "mlups": float(mlups),
+        "timings": timings,
+        "counters": counters or {},
+        "guards": {
+            "rollbacks": 0, "restarts": 0, "violations": [],
+            **(guard_stats or {}),
+        },
+        "faults": {"fired": [], "pending": 0, **(fault_stats or {})},
+        "events": {"count": 0, "path": None, **(event_stats or {})},
+    }
+    if series is not None:
+        report["series"] = series
+    validate_run_report(report)
+    return report
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise ValueError(f"invalid run report: {msg}")
+
+
+def validate_run_report(report: dict) -> None:
+    """Raise :class:`ValueError` unless *report* matches the v1 schema.
+
+    Pure-stdlib structural validation, equivalent to checking against
+    :data:`RUN_REPORT_SCHEMA` — kept dependency-free so the library and
+    CI can validate without ``jsonschema`` installed.
+    """
+    _require(isinstance(report, dict), "not an object")
+    for key in RUN_REPORT_SCHEMA["required"]:
+        _require(key in report, f"missing key {key!r}")
+    _require(report["schema"] == _SCHEMA_NAME,
+             f"schema is {report['schema']!r}, expected {_SCHEMA_NAME!r}")
+    _require(report["version"] == RUN_REPORT_VERSION,
+             f"unsupported version {report['version']!r}")
+    _require(isinstance(report["run_id"], str) and report["run_id"],
+             "run_id must be a non-empty string")
+    _require(isinstance(report["created"], (int, float)),
+             "created must be a number")
+    _require(isinstance(report["config"], dict), "config must be an object")
+    ch = report["config_hash"]
+    _require(
+        isinstance(ch, str) and len(ch) == 12
+        and all(c in "0123456789abcdef" for c in ch),
+        "config_hash must be 12 lowercase hex digits",
+    )
+    _require(ch == config_hash(report["config"]),
+             "config_hash does not match config")
+    grid = report["grid"]
+    _require(isinstance(grid, dict) and "shape" in grid and "cells" in grid,
+             "grid must carry shape and cells")
+    _require(
+        isinstance(grid["shape"], list)
+        and all(isinstance(s, int) for s in grid["shape"]),
+        "grid.shape must be a list of integers",
+    )
+    for key, low in (("ranks", 1), ("steps", 0)):
+        _require(isinstance(report[key], int) and report[key] >= low,
+                 f"{key} must be an integer >= {low}")
+    for key in ("wall_seconds", "mlups"):
+        _require(
+            isinstance(report[key], (int, float)) and report[key] >= 0,
+            f"{key} must be a non-negative number",
+        )
+    _require(report["timings"] is None or isinstance(report["timings"], dict),
+             "timings must be an object or null")
+    _require(isinstance(report["counters"], dict),
+             "counters must be an object")
+    guards = report["guards"]
+    _require(
+        isinstance(guards, dict)
+        and all(k in guards for k in ("rollbacks", "restarts", "violations")),
+        "guards must carry rollbacks, restarts and violations",
+    )
+    faults = report["faults"]
+    _require(
+        isinstance(faults, dict) and "fired" in faults and "pending" in faults,
+        "faults must carry fired and pending",
+    )
+    events = report["events"]
+    _require(
+        isinstance(events, dict) and "count" in events and "path" in events,
+        "events must carry count and path",
+    )
+    if "series" in report:
+        _require(isinstance(report["series"], dict),
+                 "series must be an object")
+
+
+def write_run_report(path, report: dict) -> Path:
+    """Validate and persist a report (atomic temp-file + rename)."""
+    validate_run_report(report)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_run_report(path) -> dict:
+    """Read and validate a report file."""
+    report = json.loads(Path(path).read_text())
+    validate_run_report(report)
+    return report
+
+
+def _main(argv: list[str]) -> int:  # pragma: no cover - exercised by CI
+    if not argv or argv[0] in ("-h", "--help"):
+        print("usage: python -m repro.telemetry.report FILE [FILE...]\n"
+              "Validate run-report JSON files against schema "
+              f"{_SCHEMA_NAME} v{RUN_REPORT_VERSION}.")
+        return 0 if argv else 2
+    failed = 0
+    for name in argv:
+        try:
+            report = load_run_report(name)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"FAIL {name}: {exc}")
+            failed += 1
+        else:
+            print(f"ok   {name}: run_id={report['run_id']} "
+                  f"mlups={report['mlups']:.3f} ranks={report['ranks']}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(_main(sys.argv[1:]))

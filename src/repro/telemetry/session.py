@@ -1,0 +1,83 @@
+"""Run-level telemetry configuration.
+
+:class:`RunTelemetry` is the one knob a driver exposes: pass an instance
+to :meth:`repro.distributed.solver.DistributedSimulation.run` (or
+:func:`repro.resilience.campaign.run_campaign`) and the run collects a
+per-rank :class:`~repro.telemetry.timing.TimingTree`, streams structured
+events, samples counters, reduces the trees across ranks and emits a
+:mod:`~repro.telemetry.report` JSON summary.  Pass ``None`` (the
+default) and the hot path runs exactly as before — telemetry is strictly
+opt-in, so it cannot regress an untelemetered benchmark.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.telemetry.events import EventLog, attach_log_events, merge_event_logs
+
+__all__ = ["RunTelemetry"]
+
+
+@dataclass
+class RunTelemetry:
+    """Configuration of one telemetry-enabled run.
+
+    Parameters
+    ----------
+    directory:
+        Where per-rank event logs, the merged event stream and the run
+        report land.  ``None`` keeps events in memory only (tests,
+        short-lived runs) — timing trees and counters still work.
+    run_id:
+        Identifier stamped into the run report and file names.
+    heartbeat_every:
+        Steps between ``heartbeat`` events (counters are updated every
+        step regardless).
+    capture_logs:
+        Forward ``repro.*`` log records into the rank-0 event log, so
+        modules that only use stdlib logging appear in the structured
+        stream too.
+    log_level:
+        Threshold of the log capture.
+    """
+
+    directory: str | Path | None = None
+    run_id: str = "run"
+    heartbeat_every: int = 1
+    capture_logs: bool = False
+    log_level: int = logging.INFO
+
+    def __post_init__(self) -> None:
+        if self.directory is not None:
+            self.directory = Path(self.directory)
+        if self.heartbeat_every < 1:
+            raise ValueError("heartbeat_every must be >= 1")
+
+    def open_events(self, rank: int) -> EventLog:
+        """Per-rank event sink (file-backed when a directory is set)."""
+        return EventLog(self.directory, rank=rank)
+
+    def attach_log_capture(self, event_log: EventLog):
+        """Install the log-record forwarder if :attr:`capture_logs`."""
+        if not self.capture_logs:
+            return None
+        return attach_log_events(event_log, level=self.log_level)
+
+    @staticmethod
+    def detach_log_capture(handler) -> None:
+        if handler is not None:
+            logging.getLogger("repro").removeHandler(handler)
+
+    def merge_events(self) -> list[dict]:
+        """Merge the per-rank event files (no-op without a directory)."""
+        if self.directory is None:
+            return []
+        return merge_event_logs(self.directory)
+
+    def report_path(self) -> Path | None:
+        if self.directory is None:
+            return None
+        return self.directory / f"report-{self.run_id}.json"

@@ -1,5 +1,7 @@
 """Tests of machines, netmodel, roofline and the scaling simulators."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -250,3 +252,30 @@ class TestMetrics:
         rate = measure_kernel_rate(lambda: calls.append(1), 1000, min_time=0.01)
         assert rate > 0
         assert len(calls) >= 2
+
+    def test_measure_kernel_rate_accumulates_min_time(self):
+        # a sub-microsecond kernel must still be measured over ~min_time
+        # of wall clock (the old calibration capped the repeat count and
+        # accumulated only microseconds)
+        rate = measure_kernel_rate(
+            lambda: None, 1000, min_time=0.05, max_repeats=20
+        )
+        timed = rate.repeats * rate.calls_per_repeat * rate.seconds_mean
+        assert timed >= 0.02
+        assert rate.calls_per_repeat > 100
+
+    def test_measure_kernel_rate_noise_stats(self):
+        rate = measure_kernel_rate(
+            lambda: time.sleep(0.002), 1000, min_time=0.02, max_repeats=10
+        )
+        assert isinstance(rate, float)
+        assert rate.calls_per_repeat == 1
+        assert rate.repeats >= 2
+        assert rate.seconds_min <= rate.seconds_median <= rate.seconds_mean * 2
+        assert rate.seconds_std >= 0.0 and rate.noise >= 0.0
+        d = rate.as_dict()
+        assert d["mlups"] == pytest.approx(float(rate))
+        assert set(d) == {
+            "mlups", "repeats", "calls_per_repeat", "seconds_min",
+            "seconds_mean", "seconds_median", "seconds_std", "noise",
+        }

@@ -1,0 +1,132 @@
+"""Structured event log: schema, per-rank files, merge, log capture."""
+
+import json
+import logging
+
+import pytest
+
+from repro.simmpi.runtime import run_spmd
+from repro.telemetry.events import (
+    EVENT_SCHEMA_VERSION,
+    EventLog,
+    attach_log_events,
+    merge_event_logs,
+    read_events,
+    validate_event,
+)
+from repro.telemetry.logsetup import current_rank, rank_formatter
+
+
+class TestSchema:
+    def test_emit_matches_schema(self):
+        log = EventLog(rank=3)
+        rec = log.emit("checkpoint", step=7, path="/tmp/x.npz")
+        validate_event(rec)
+        assert rec["v"] == EVENT_SCHEMA_VERSION
+        assert rec["rank"] == 3
+        assert rec["kind"] == "checkpoint"
+        assert rec["data"] == {"step": 7, "path": "/tmp/x.npz"}
+
+    def test_level_positional_keeps_data_key_free(self):
+        # "level" is positional-only on emit, so a payload may carry its
+        # own "level" entry
+        log = EventLog()
+        rec = log.emit("log", "WARNING", level="noise-floor")
+        assert rec["level"] == "WARNING"
+        assert rec["data"]["level"] == "noise-floor"
+
+    def test_validate_rejects_bad_records(self):
+        with pytest.raises(ValueError, match="lacks keys"):
+            validate_event({"v": 1, "kind": "x"})
+        good = EventLog().emit("x", a=1)
+        bad = dict(good, v=99)
+        with pytest.raises(ValueError, match="version"):
+            validate_event(bad)
+        with pytest.raises(ValueError, match="kind"):
+            validate_event(dict(good, kind=""))
+        with pytest.raises(ValueError, match="data"):
+            validate_event(dict(good, data=[1]))
+
+    def test_seq_monotonic_and_count(self):
+        log = EventLog()
+        for i in range(5):
+            log.emit("tick", i=i)
+        log.emit("tock")
+        assert [r["seq"] for r in log.records] == list(range(6))
+        assert log.count() == 6
+        assert log.count("tick") == 5
+
+
+class TestFilesAndMerge:
+    def test_round_trip(self, tmp_path):
+        with EventLog(tmp_path, rank=0) as log:
+            log.emit("run_start", steps=10)
+            log.emit("guard_trip", "ERROR", violations=["nan"])
+        records = read_events(tmp_path / "events-rank0000.jsonl")
+        assert [r["kind"] for r in records] == ["run_start", "guard_trip"]
+        assert records[1]["level"] == "ERROR"
+        assert records == log.records
+
+    def test_append_across_instances(self, tmp_path):
+        # campaign chunks reopen the same per-rank file
+        with EventLog(tmp_path, rank=0) as log:
+            log.emit("chunk", n=1)
+        with EventLog(tmp_path, rank=0) as log:
+            log.emit("chunk", n=2)
+        records = read_events(tmp_path / "events-rank0000.jsonl")
+        assert [r["data"]["n"] for r in records] == [1, 2]
+
+    def test_merge_orders_by_time(self, tmp_path):
+        import time
+
+        logs = [EventLog(tmp_path, rank=r) for r in range(3)]
+        for i in range(4):
+            logs[i % 3].emit("tick", i=i)
+            time.sleep(0.002)  # guarantee distinct timestamps
+        for log in logs:
+            log.close()
+        merged = merge_event_logs(tmp_path)
+        assert [r["data"]["i"] for r in merged] == [0, 1, 2, 3]
+        on_disk = [
+            json.loads(line)
+            for line in (tmp_path / "events-merged.jsonl").read_text().splitlines()
+        ]
+        assert on_disk == merged
+
+    def test_rank_detected_from_spmd_thread(self, tmp_path):
+        def rank_main(comm):
+            assert current_rank() == comm.rank
+            with EventLog(tmp_path) as log:  # rank auto-detected
+                log.emit("hello")
+                return log.rank
+
+        ranks = run_spmd(3, rank_main)
+        assert ranks == [0, 1, 2]
+        merged = merge_event_logs(tmp_path)
+        assert sorted(r["rank"] for r in merged) == [0, 1, 2]
+
+
+class TestLogCapture:
+    def test_logging_records_become_events(self):
+        log = EventLog()
+        handler = attach_log_events(log, logger="repro.test_capture")
+        try:
+            logging.getLogger("repro.test_capture.sub").warning(
+                "disk %s is full", "/scratch"
+            )
+        finally:
+            logging.getLogger("repro.test_capture").removeHandler(handler)
+        assert log.count("log") == 1
+        rec = log.records[0]
+        assert rec["level"] == "WARNING"
+        assert rec["data"]["logger"] == "repro.test_capture.sub"
+        assert rec["data"]["message"] == "disk /scratch is full"
+        assert rec["data"]["origin_rank"] == 0
+
+    def test_formatter_carries_rank_tag(self):
+        fmt = rank_formatter()
+        record = logging.LogRecord(
+            "repro.x", logging.INFO, __file__, 1, "hi", (), None
+        )
+        record.rank = 5
+        assert "[rank 5]" in fmt.format(record)

@@ -1,0 +1,253 @@
+"""End-to-end telemetry: timeloop agreement, counters, runs, campaigns."""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.nucleation import smooth_phase_field, voronoi_initial_condition
+from repro.distributed import DistributedSimulation
+from repro.grid.timeloop import Timeloop
+from repro.resilience.campaign import run_campaign
+from repro.resilience.faults import Fault, FaultPlan
+from repro.resilience.guards import GuardedSimulation
+from repro.resilience.store import CheckpointStore
+from repro.telemetry import (
+    EventLog,
+    Heartbeat,
+    MetricsRegistry,
+    RunTelemetry,
+    TimingTree,
+    attach_heartbeat,
+    read_events,
+)
+from repro.telemetry.report import validate_run_report
+from repro.thermo.system import TernaryEutecticSystem
+
+SHAPE = (8, 8, 12)
+
+
+@pytest.fixture(scope="module")
+def initial_state():
+    system = TernaryEutecticSystem()
+    phi0, mu0 = voronoi_initial_condition(
+        system, SHAPE, solid_height=4, n_seeds=4
+    )
+    return system, smooth_phase_field(phi0, 2), mu0
+
+
+class TestTimeloopTreeAgreement:
+    def test_tree_matches_functor_accumulators_exactly(self):
+        # the timeloop measures each functor once and records the same
+        # value into the tree, so the two views agree exactly — not just
+        # within timer resolution
+        tree = TimingTree()
+        loop = Timeloop(tree=tree)
+        f1 = loop.add("sweep", lambda: time.sleep(0.001))
+        f2 = loop.add("halo", lambda: None, category="comm")
+        loop.run(4)
+        assert tree.node("timeloop/sweep").stats.total == f1.seconds
+        assert tree.node("timeloop/halo").stats.total == f2.seconds
+        assert tree.node("timeloop/sweep").stats.count == f1.calls == 4
+        report = loop.timing_report()
+        assert report["functors"]["sweep"]["total"] == f1.seconds
+        assert report["functors"]["halo"]["category"] == "comm"
+        assert report["steps"] == 4
+
+    def test_timing_report_fields(self):
+        loop = Timeloop()
+        loop.add("a", lambda: None)
+        loop.run(3)
+        row = loop.timing_report()["functors"]["a"]
+        assert set(row) >= {"category", "calls", "total", "avg", "min", "max"}
+        assert row["calls"] == 3
+        assert row["min"] <= row["avg"] <= row["max"]
+        assert row["seconds"] == row["total"]  # deprecated alias
+
+
+class TestCountersAndHeartbeat:
+    def test_heartbeat_advances_counters_and_emits(self):
+        registry = MetricsRegistry()
+        events = EventLog()
+        hb = Heartbeat(registry, cells_per_step=100, every=2, events=events)
+        for _ in range(4):
+            hb.sample()
+        snap = registry.snapshot()
+        assert snap["cells_updated"] == 400
+        assert snap["mlups"] > 0 and snap["mlups_window"] > 0
+        assert events.count("heartbeat") == 2  # every 2nd tick
+
+    def test_attach_heartbeat_runs_in_timeloop(self):
+        loop = Timeloop()
+        registry = MetricsRegistry()
+        attach_heartbeat(loop, registry, cells_per_step=10)
+        loop.run(5)
+        assert registry.counter("cells_updated").value == 50
+        report = loop.timing_report()
+        assert report["functors"]["heartbeat"]["category"] == "telemetry"
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c").add(-1)
+
+
+class TestDistributedRunTelemetry:
+    def test_two_rank_run_produces_full_telemetry(
+        self, tmp_path, initial_state
+    ):
+        system, phi0, mu0 = initial_state
+        steps = 3
+        d = DistributedSimulation(SHAPE, (2, 1, 1), system=system,
+                                  kernel="buffered")
+        res = d.run(
+            steps, phi0, mu0, guard=True,
+            telemetry=RunTelemetry(directory=tmp_path, run_id="demo"),
+        )
+
+        # merged timing tree: both ranks contributed, comm + compute split
+        tree = res.timing
+        assert tree is not None
+        assert {"comm", "compute"} <= set(tree["children"])
+        comp = tree["children"]["compute"]
+        assert comp["n_ranks"] == 2
+        phi_sweeps = comp["children"]["phi"]
+        assert phi_sweeps["count"] == steps * 2  # per rank per step
+        assert phi_sweeps["total"] > 0
+        assert (
+            phi_sweeps["rank_min"]
+            <= phi_sweeps["rank_avg"]
+            <= phi_sweeps["rank_max"]
+        )
+
+        # counters summed across ranks
+        cells = int(np.prod(SHAPE))
+        assert res.counters["cells_updated"] == steps * cells
+        assert res.counters["halo_bytes"] > 0
+        assert res.counters["halo_messages"] > 0
+
+        # events: per-rank files plus merged stream, parseable + valid
+        for rank in (0, 1):
+            records = read_events(tmp_path / f"events-rank{rank:04d}.jsonl")
+            kinds = [r["kind"] for r in records]
+            assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+            assert kinds.count("heartbeat") == steps
+        merged = [
+            json.loads(line)
+            for line in (tmp_path / "events-merged.jsonl").read_text().splitlines()
+        ]
+        assert len(merged) == sum(
+            len(read_events(tmp_path / f"events-rank{r:04d}.jsonl"))
+            for r in (0, 1)
+        )
+
+        # schema-valid run report with nonzero throughput
+        validate_run_report(res.report)
+        assert res.report["mlups"] > 0
+        assert res.report["ranks"] == 2
+        assert res.report["steps"] == steps
+        assert (tmp_path / "report-demo.json").exists()
+
+    def test_telemetry_off_leaves_result_bare(self, initial_state):
+        system, phi0, mu0 = initial_state
+        d = DistributedSimulation(SHAPE, (2, 1, 1), system=system,
+                                  kernel="buffered")
+        res = d.run(2, phi0, mu0)
+        assert res.timing is None
+        assert res.counters is None
+        assert res.report is None
+
+    def test_guard_trip_emits_event(self, tmp_path, initial_state):
+        from repro.resilience.errors import InvariantViolation
+
+        system, phi0, mu0 = initial_state
+        d = DistributedSimulation(SHAPE, (2, 1, 1), system=system,
+                                  kernel="buffered")
+        plan = FaultPlan([Fault("nan_inject", step=1, rank=0)])
+        with pytest.raises(InvariantViolation):
+            d.run(3, phi0, mu0, guard=True, fault_plan=plan,
+                  telemetry=RunTelemetry(directory=tmp_path, run_id="trip"))
+        records = read_events(tmp_path / "events-rank0000.jsonl")
+        kinds = [r["kind"] for r in records]
+        assert "fault" in kinds
+        assert "guard_trip" in kinds
+        trip = next(r for r in records if r["kind"] == "guard_trip")
+        assert trip["level"] == "ERROR"
+        assert trip["data"]["reason"]
+
+
+class TestCampaignTelemetry:
+    def test_faulted_campaign_reports_restart(self, tmp_path, initial_state):
+        system, phi0, mu0 = initial_state
+        d = DistributedSimulation(SHAPE, (2, 1, 1), system=system,
+                                  kernel="buffered")
+        plan = FaultPlan([Fault("rank_kill", step=2, rank=1)])
+        res = run_campaign(
+            d, 4, phi0, mu0,
+            store=CheckpointStore(tmp_path / "ck"),
+            checkpoint_every=2,
+            fault_plan=plan,
+            telemetry=RunTelemetry(directory=tmp_path / "tel", run_id="camp"),
+        )
+        assert res.steps == 4
+        assert res.restarts == 1
+
+        # chunk trees accumulated: still a 2-rank breakdown, with the
+        # full campaign's compute calls
+        comp = res.timing["children"]["compute"]
+        assert comp["n_ranks"] == 2
+        assert comp["children"]["phi"]["count"] == 4 * 2
+
+        validate_run_report(res.report)
+        assert res.report["guards"]["restarts"] == 1
+        assert res.report["faults"]["fired"] == [
+            {"kind": "rank_kill", "step": 2, "rank": 1}
+        ]
+        assert res.report["counters"]["checkpoints_written"] == res.checkpoints_written
+
+        merged = (tmp_path / "tel" / "events-merged.jsonl").read_text()
+        kinds = [json.loads(line)["kind"] for line in merged.splitlines()]
+        assert "campaign_start" in kinds
+        assert "checkpoint" in kinds
+        assert "restart" in kinds
+        assert "campaign_end" in kinds
+
+    def test_unfaulted_campaign_matches_plain_run(self, tmp_path, initial_state):
+        system, phi0, mu0 = initial_state
+        d = DistributedSimulation(SHAPE, (2, 1, 1), system=system,
+                                  kernel="buffered")
+        res = run_campaign(
+            d, 4, phi0, mu0,
+            store=CheckpointStore(tmp_path / "ck"),
+            checkpoint_every=2,
+            telemetry=RunTelemetry(directory=tmp_path / "tel", run_id="ok"),
+        )
+        ref = d.run(4, phi0, mu0)
+        np.testing.assert_allclose(res.phi, ref.phi, rtol=0, atol=5e-7)
+        assert res.restarts == 0
+        assert res.report["guards"]["violations"] == []
+
+
+class TestGuardedSimulationEvents:
+    def test_rollback_emits_events(self, tmp_path):
+        from repro.core.solver import Simulation
+
+        sim = Simulation(shape=(6, 6, 10), kernel="buffered")
+        sim.initialize_voronoi(seed=5, solid_height=4, n_seeds=4, smooth=2)
+        events = EventLog()
+        guarded = GuardedSimulation(
+            sim,
+            CheckpointStore(tmp_path),
+            fault_plan=FaultPlan([Fault("nan_inject", step=2)]),
+            checkpoint_every=2,
+            events=events,
+        )
+        guarded.run(4)
+        assert guarded.rollbacks == 1
+        assert events.count("fault") == 1
+        assert events.count("guard_trip") == 1
+        assert events.count("rollback") == 1
+        assert events.count("checkpoint") >= 1
+        trip = next(r for r in events.records if r["kind"] == "guard_trip")
+        assert trip["data"]["violations"]

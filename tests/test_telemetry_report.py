@@ -1,0 +1,119 @@
+"""Run reports: build, validate, persist, determinism."""
+
+import json
+
+import pytest
+
+from repro.telemetry.report import (
+    RUN_REPORT_SCHEMA,
+    RUN_REPORT_VERSION,
+    build_run_report,
+    config_hash,
+    load_run_report,
+    validate_run_report,
+    write_run_report,
+)
+
+CONFIG = {"shape": [8, 8, 16], "kernel": "buffered", "n_ranks": 2}
+
+
+def make_report(**overrides):
+    kwargs = dict(
+        run_id="t1",
+        config=CONFIG,
+        grid_shape=(8, 8, 16),
+        n_ranks=2,
+        steps=5,
+        wall_seconds=1.25,
+        mlups=0.42,
+        created=1_700_000_000.0,
+    )
+    kwargs.update(overrides)
+    return build_run_report(**kwargs)
+
+
+class TestBuildAndValidate:
+    def test_minimal_report_is_valid(self):
+        report = make_report()
+        validate_run_report(report)
+        assert report["version"] == RUN_REPORT_VERSION
+        assert report["grid"] == {"shape": [8, 8, 16], "cells": 1024}
+        assert report["guards"] == {
+            "rollbacks": 0, "restarts": 0, "violations": [],
+        }
+        assert report["faults"] == {"fired": [], "pending": 0}
+
+    def test_schema_doc_covers_required_keys(self):
+        required = set(RUN_REPORT_SCHEMA["required"])
+        assert required <= set(make_report())
+
+    def test_config_hash_matches_config(self):
+        report = make_report()
+        assert report["config_hash"] == config_hash(CONFIG)
+        tampered = dict(report, config={**CONFIG, "kernel": "basic"})
+        with pytest.raises(ValueError, match="config_hash"):
+            validate_run_report(tampered)
+
+    def test_config_hash_key_order_independent(self):
+        a = {"x": 1, "y": [1, 2]}
+        b = {"y": [1, 2], "x": 1}
+        assert config_hash(a) == config_hash(b)
+        assert config_hash(a) != config_hash({"x": 2, "y": [1, 2]})
+
+    def test_validate_rejects_missing_and_wrong(self):
+        report = make_report()
+        broken = {k: v for k, v in report.items() if k != "mlups"}
+        with pytest.raises(ValueError):
+            validate_run_report(broken)
+        with pytest.raises(ValueError):
+            validate_run_report(dict(report, schema="something.else"))
+        with pytest.raises(ValueError):
+            validate_run_report(dict(report, version=RUN_REPORT_VERSION + 1))
+
+    def test_optional_sections(self):
+        report = make_report(
+            timings={"name": "", "count": 0, "total": 0.0, "call_min": 0.0,
+                     "call_max": 0.0, "rank_min": 0.0, "rank_max": 0.0,
+                     "rank_avg": 0.0, "n_ranks": 2, "children": {}},
+            counters={"cells_updated": 5120},
+            guard_stats={"restarts": 2},
+            series={"ladder": {"basic": 1.0}},
+        )
+        validate_run_report(report)
+        assert report["guards"]["restarts"] == 2
+        assert report["guards"]["rollbacks"] == 0  # defaults survive merge
+        assert report["series"]["ladder"]["basic"] == 1.0
+
+
+class TestPersistence:
+    def test_write_load_round_trip(self, tmp_path):
+        report = make_report()
+        path = tmp_path / "report.json"
+        write_run_report(path, report)
+        again = load_run_report(path)
+        assert again == report
+
+    def test_load_validates(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "repro.run_report"}))
+        with pytest.raises(ValueError):
+            load_run_report(path)
+
+    def test_deterministic_bytes_under_fixed_created(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_run_report(a, make_report())
+        write_run_report(b, make_report())
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_cli_validates(self, tmp_path, capsys):
+        from repro.telemetry.report import _main
+
+        path = tmp_path / "r.json"
+        write_run_report(path, make_report())
+        assert _main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "t1" in out
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert _main([str(bad)]) == 1
