@@ -139,6 +139,7 @@ class DistributedSimulation:
         periodicity = tuple([True] * (self.dim - 1) + [False])
         self.forest = BlockForest(self.shape, tuple(blocks_per_axis), periodicity)
         self.n_ranks = self.forest.n_blocks if n_ranks is None else int(n_ranks)
+        self.balance_strategy = balance_strategy
         self.owner = assign_blocks(self.forest, self.n_ranks, balance_strategy)
 
         nz = self.shape[-1]
@@ -163,6 +164,43 @@ class DistributedSimulation:
             slice(o, o + s) for o, s in zip(block.offset, block.shape)
         )
 
+    def shrunk(self, n_ranks: int) -> "DistributedSimulation":
+        """A copy of this simulation re-decomposed for *n_ranks* ranks.
+
+        The domain, forest geometry, physics and schedule are identical —
+        only the block-to-rank assignment is re-derived — so a shrunk
+        simulation continued from a (resharded) checkpoint reproduces the
+        original run bit-for-bit: per-block arithmetic does not depend on
+        which rank owns the block.  Used by the elastic campaign driver
+        after a permanent rank loss.
+        """
+        if not 1 <= n_ranks <= self.forest.n_blocks:
+            raise ValueError(
+                f"cannot run {self.forest.n_blocks} blocks on {n_ranks} "
+                "rank(s)"
+            )
+        return DistributedSimulation(
+            self.shape,
+            self.forest.blocks_per_axis,
+            system=self.system,
+            params=self.params,
+            temperature=self.temperature,
+            kernel=self.kernel,
+            overlap=self.overlap,
+            phi_bc=self.phi_bc,
+            mu_bc=self.mu_bc,
+            n_ranks=n_ranks,
+            balance_strategy=self.balance_strategy,
+        )
+
+    def topology(self) -> dict:
+        """Manifest topology record of the current decomposition."""
+        return {
+            **self.forest.meta(),
+            "n_ranks": int(self.n_ranks),
+            "owner": [int(r) for r in self.owner],
+        }
+
     def run(
         self,
         steps: int,
@@ -174,6 +212,8 @@ class DistributedSimulation:
         fault_plan=None,
         guard: bool = False,
         telemetry=None,
+        shard_store=None,
+        checkpoint_every: int | None = None,
     ) -> DistributedResult:
         """Advance *steps* steps from the global initial interior state.
 
@@ -193,17 +233,35 @@ class DistributedSimulation:
         run report are attached to the result (and written to
         ``telemetry.directory`` when set).  ``None`` leaves the hot path
         untouched.
+
+        *shard_store* — a
+        :class:`~repro.resilience.store.ShardedCheckpointStore` — makes
+        every rank write its own block shard whenever the **global** step
+        count reaches a multiple of *checkpoint_every* (boundaries are
+        therefore stable across restarts, whatever *step0* is).  Shard
+        manifest entries are gathered to rank 0, which publishes the
+        manifest only if every rank's write succeeded — the two-phase
+        commit that keeps a mid-checkpoint failure from ever producing a
+        half-valid restart point.  A rank whose write fails persistently
+        (after the store's bounded retries) contributes no entry; the
+        checkpoint is skipped with a logged event and the run continues.
         """
         if phi0.shape != (self.system.n_phases,) + self.shape:
             raise ValueError(f"phi0 must have shape (N,){self.shape}")
         if mu0.shape != (self.system.n_solutes,) + self.shape:
             raise ValueError(f"mu0 must have shape (K-1,){self.shape}")
 
+        if shard_store is not None and (
+            checkpoint_every is None or checkpoint_every < 1
+        ):
+            raise ValueError("shard_store requires checkpoint_every >= 1")
+
         wall0 = _time.perf_counter()
         results = run_spmd(
             self.n_ranks, self._rank_main, steps, phi0, mu0,
             t0=t0, step0=step0, fault_plan=fault_plan, guard=guard,
-            telemetry=telemetry,
+            telemetry=telemetry, shard_store=shard_store,
+            checkpoint_every=checkpoint_every,
         )
         wall = _time.perf_counter() - wall0
 
@@ -298,7 +356,8 @@ class DistributedSimulation:
     def _rank_main(self, comm, steps: int, phi0, mu0, *,
                    t0: float = 0.0, step0: int = 0,
                    fault_plan=None, guard: bool = False,
-                   telemetry=None):
+                   telemetry=None, shard_store=None,
+                   checkpoint_every: int | None = None):
         if fault_plan is not None:
             from repro.resilience.faults import FaultyComm
 
@@ -334,6 +393,7 @@ class DistributedSimulation:
                 ctx=ctx, phi_kernel=phi_kernel, mu_kernel=mu_kernel,
                 flags=flags, owned=owned, tree=tree, events=events,
                 heartbeat=heartbeat, registry=registry,
+                shard_store=shard_store, checkpoint_every=checkpoint_every,
             )
         except BaseException as exc:
             if events is not None:
@@ -341,10 +401,68 @@ class DistributedSimulation:
                 events.close()
             raise
 
+    def _sharded_checkpoint(self, comm, shard_store, owned,
+                            phi_fields, mu_fields, *, step: int,
+                            time: float, events) -> None:
+        """Two-phase sharded checkpoint from inside the SPMD region.
+
+        Write phase: this rank durably writes its own shard (bounded
+        retries inside the store).  Publish phase: manifest entries are
+        gathered to rank 0, which commits the generation only when every
+        rank succeeded; otherwise the checkpoint is skipped — never
+        half-published — and the run continues.
+        """
+        entry = None
+        try:
+            entry = shard_store.write_rank_shard(
+                rank=comm.rank, step=step,
+                blocks={
+                    b.id: (
+                        phi_fields[b.id].interior_src,
+                        mu_fields[b.id].interior_src,
+                    )
+                    for b in owned
+                },
+                events=events,
+            )
+        except OSError as exc:
+            logger.error(
+                "rank %d: shard write failed persistently at step %d: %r",
+                comm.rank, step, exc,
+            )
+            if events is not None:
+                events.emit(
+                    "checkpoint_skipped", "ERROR", step=step,
+                    error=repr(exc),
+                )
+        entries = comm.gather(entry, root=0)
+        if comm.rank != 0:
+            return
+        if all(e is not None for e in entries):
+            path = shard_store.publish_manifest(
+                entries, step=step, time=time,
+                topology=self.topology(), kernel=self.kernel,
+            )
+            if events is not None:
+                events.emit("checkpoint", step=step, path=str(path))
+        else:
+            shard_store.note_skipped()
+            failed = [r for r, e in enumerate(entries) if e is None]
+            logger.warning(
+                "checkpoint at step %d skipped: rank(s) %s failed their "
+                "shard write", step, failed,
+            )
+            if events is not None:
+                events.emit(
+                    "checkpoint_skipped", "WARNING", step=step,
+                    failed_ranks=failed,
+                )
+
     def _rank_loop(self, comm, steps: int, phi0, mu0, *,
                    t0: float, step0: int, fault_plan, guard: bool,
                    ctx, phi_kernel, mu_kernel, flags, owned,
-                   tree, events, heartbeat, registry):
+                   tree, events, heartbeat, registry,
+                   shard_store=None, checkpoint_every=None):
 
         # initial state: root scatters per-rank block bundles
         if comm.rank == 0:
@@ -391,20 +509,21 @@ class DistributedSimulation:
             global_step = step0 + local_step
             if fault_plan is not None:
                 comm.step = global_step
-                fault = fault_plan.fires(
-                    "rank_kill", step=global_step, rank=comm.rank
-                )
-                if fault is not None:
-                    from repro.resilience.errors import InjectedFault
-
-                    if events is not None:
-                        events.emit(
-                            "fault", "ERROR", fault="rank_kill",
-                            step=global_step,
-                        )
-                    raise InjectedFault(
-                        "rank_kill", step=global_step, rank=comm.rank
+                for kind in ("rank_kill", "kill_rank"):
+                    fault = fault_plan.fires(
+                        kind, step=global_step, rank=comm.rank
                     )
+                    if fault is not None:
+                        from repro.resilience.errors import InjectedFault
+
+                        if events is not None:
+                            events.emit(
+                                "fault", "ERROR", fault=kind,
+                                step=global_step,
+                            )
+                        raise InjectedFault(
+                            kind, step=global_step, rank=comm.rank
+                        )
                 fault = fault_plan.fires(
                     "nan_inject", step=global_step, rank=comm.rank
                 )
@@ -514,6 +633,14 @@ class DistributedSimulation:
                     tree.record("guard", _pc() - mark)
             if heartbeat is not None:
                 heartbeat.sample(global_step=global_step + 1)
+            if (
+                shard_store is not None
+                and (global_step + 1) % checkpoint_every == 0
+            ):
+                self._sharded_checkpoint(
+                    comm, shard_store, owned, phi_fields, mu_fields,
+                    step=global_step + 1, time=time_now, events=events,
+                )
 
         stats = RankStats(
             rank=comm.rank,

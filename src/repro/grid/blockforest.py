@@ -130,6 +130,28 @@ class BlockForest:
             return block
         return self.blocks[self.block_id(tuple(idx))]
 
+    def meta(self) -> dict:
+        """JSON-serializable topology record (checkpoint manifests).
+
+        Everything needed to rebuild an identical forest on a different
+        process count: the domain itself never changes across an elastic
+        restart, only the block-to-rank assignment does.
+        """
+        return {
+            "domain_shape": list(self.domain_shape),
+            "blocks_per_axis": list(self.blocks_per_axis),
+            "periodicity": [bool(p) for p in self.periodicity],
+        }
+
+    @classmethod
+    def from_meta(cls, meta: dict) -> "BlockForest":
+        """Rebuild the forest recorded by :meth:`meta`."""
+        return cls(
+            tuple(meta["domain_shape"]),
+            tuple(meta["blocks_per_axis"]),
+            tuple(meta["periodicity"]),
+        )
+
     @classmethod
     def for_processes(
         cls,

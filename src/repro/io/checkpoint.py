@@ -59,12 +59,35 @@ def _crc32(arr: np.ndarray) -> int:
     return zlib.crc32(np.ascontiguousarray(arr).tobytes()) & 0xFFFFFFFF
 
 
+def _fsync_dir(directory: Path) -> None:
+    """fsync a directory so a just-renamed entry survives machine crash.
+
+    ``os.replace`` makes the rename atomic with respect to *process*
+    crashes, but the new directory entry itself lives in the page cache
+    until the directory inode is flushed — a power loss can still forget
+    the file.  Best-effort: platforms without directory fds (Windows)
+    skip silently.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
 def _atomic_savez(path: Path, payload: dict) -> None:
-    """Write an ``.npz`` archive atomically (temp file + ``os.replace``).
+    """Write an ``.npz`` archive atomically and durably.
 
     ``np.savez`` appends ``.npz`` to plain path arguments, so the archive
     is written through an open file object under a ``.tmp`` name and only
-    renamed into place once it is fully on disk.
+    renamed into place once it is fully on disk.  The temp file is fsynced
+    before the rename and the parent directory after it, so a *committed*
+    checkpoint survives a crash of the machine, not just of the process.
     """
     tmp = path.with_name(path.name + ".tmp")
     try:
@@ -73,6 +96,7 @@ def _atomic_savez(path: Path, payload: dict) -> None:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        _fsync_dir(path.parent)
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise

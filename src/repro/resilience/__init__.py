@@ -14,9 +14,15 @@ This package reproduces that operational layer:
   :class:`GuardedSimulation` with rollback + dt-backoff retry.
 * :mod:`repro.resilience.faults` — deterministic seeded
   :class:`FaultPlan` (rank kills, dropped/corrupted/delayed ghost
-  messages, truncated checkpoints, NaN injection).
+  messages, truncated checkpoints, NaN injection, checkpoint-write I/O
+  failures).
+* :mod:`repro.resilience.retry` — bounded exponential-backoff retry with
+  deterministic jitter for transient checkpoint I/O failures.
 * :mod:`repro.resilience.campaign` — chunked distributed campaigns that
-  relaunch from the checkpoint store after any rank failure.
+  relaunch from the checkpoint store after any rank failure; with a
+  :class:`ShardedCheckpointStore` they run elastically, shrinking to the
+  surviving ranks after a permanent rank loss and resuming from the
+  newest committed sharded checkpoint.
 """
 
 from repro.resilience.campaign import CampaignResult, run_campaign
@@ -33,7 +39,8 @@ from repro.resilience.guards import (
     attach_watchdog,
     find_violations,
 )
-from repro.resilience.store import CheckpointStore
+from repro.resilience.retry import RetryPolicy, retry_io
+from repro.resilience.store import CheckpointStore, ShardedCheckpointStore
 
 __all__ = [
     "CampaignResult",
@@ -51,4 +58,7 @@ __all__ = [
     "attach_watchdog",
     "find_violations",
     "CheckpointStore",
+    "ShardedCheckpointStore",
+    "RetryPolicy",
+    "retry_io",
 ]

@@ -31,7 +31,8 @@ from repro.resilience.errors import (
     InjectedFault,
     InvariantViolation,
 )
-from repro.simmpi.comm import RemoteError
+from repro.resilience.store import ShardedCheckpointStore
+from repro.simmpi.comm import RankFailure, RemoteError
 
 __all__ = ["CampaignResult", "run_campaign"]
 
@@ -54,6 +55,30 @@ class CampaignResult:
     faults_fired: list = field(default_factory=list)
     timing: dict | None = None
     report: dict | None = None
+    #: Elastic-recovery accounting (sharded-store campaigns).
+    rank_failures: int = 0
+    shrinks: int = 0
+    final_ranks: int | None = None
+    io_retries: int = 0
+    checkpoints_skipped: int = 0
+
+
+def _lost_ranks(exc) -> list[int]:
+    """Ranks permanently lost in *exc* (empty for transient failures).
+
+    ``kill_rank`` injected faults and :class:`RankFailure` model node
+    death — the rank will not come back, so the campaign must shrink.
+    ``rank_kill`` (transient crash) and everything else restart at the
+    same size.
+    """
+    if isinstance(exc, InjectedFault) and exc.kind == "kill_rank":
+        rank = exc.rank if exc.rank is not None else getattr(
+            exc, "simmpi_rank", None
+        )
+        return [rank] if rank is not None else []
+    if isinstance(exc, RankFailure):
+        return list(exc.failed_ranks)
+    return []
 
 
 def run_campaign(
@@ -82,15 +107,26 @@ def run_campaign(
     :attr:`CampaignResult.timing` and a campaign-wide run report —
     including guard/restart and fault statistics — is attached (and
     written to ``telemetry.directory`` when set).
+
+    With a :class:`~repro.resilience.store.ShardedCheckpointStore` the
+    campaign runs **elastically**: the ranks checkpoint in-run through
+    two-phase sharded writes, and a *permanent* rank loss (``kill_rank``
+    fault or :class:`~repro.simmpi.comm.RankFailure`) shrinks the
+    simulation to the survivors, reloads the newest committed manifest —
+    which restores on any rank count — and resumes.  Transient failures
+    restart at the same size, exactly as with a plain store.
     """
     if checkpoint_every < 1:
         raise ValueError("checkpoint_every must be >= 1")
+    sharded = isinstance(store, ShardedCheckpointStore)
     phi = np.array(phi0, dtype=float)
     mu = np.array(mu0, dtype=float)
     time_now = 0.0
     step_now = 0
     restarts = 0
     checkpoints_written = 0
+    rank_failures = 0
+    shrinks = 0
     restart_reasons: list[str] = []
 
     events = None
@@ -116,7 +152,26 @@ def run_campaign(
 
     def checkpoint() -> None:
         nonlocal checkpoints_written
-        path = store.save_state(snapshot())
+        if sharded:
+            try:
+                path = store.save_global(
+                    snapshot(), forest=dsim.forest, owner=dsim.owner,
+                    n_ranks=dsim.n_ranks, events=events,
+                )
+            except OSError as exc:
+                store.note_skipped()
+                logger.warning(
+                    "sharded checkpoint at step %d skipped after persistent "
+                    "I/O failure: %r", step_now, exc,
+                )
+                if events is not None:
+                    events.emit(
+                        "checkpoint_skipped", "WARNING", step=step_now,
+                        error=repr(exc),
+                    )
+                return
+        else:
+            path = store.save_state(snapshot())
         checkpoints_written += 1
         logger.info("checkpoint %d written at step %d: %s",
                     checkpoints_written, step_now, path)
@@ -126,13 +181,20 @@ def run_campaign(
     checkpoint()
 
     while step_now < steps:
-        chunk = min(checkpoint_every, steps - step_now)
+        # a sharded store checkpoints from inside the run, so the whole
+        # remainder is one chunk; a plain store checkpoints per chunk
+        chunk = (
+            steps - step_now if sharded
+            else min(checkpoint_every, steps - step_now)
+        )
         try:
             res = dsim.run(
                 chunk, phi, mu,
                 t0=time_now, step0=step_now,
                 fault_plan=fault_plan, guard=guard,
                 telemetry=telemetry,
+                shard_store=store if sharded else None,
+                checkpoint_every=checkpoint_every if sharded else None,
             )
         except _RECOVERABLE as exc:
             restarts += 1
@@ -153,6 +215,33 @@ def run_campaign(
                     violations=[f"restart budget exhausted: {exc}"],
                     attempts=restarts - 1,
                 ) from exc
+            lost = sorted(set(_lost_ranks(exc)))
+            if sharded and lost and dsim.n_ranks - len(lost) >= 1:
+                old_n = dsim.n_ranks
+                new_n = old_n - len(lost)
+                rank_failures += len(lost)
+                shrinks += 1
+                if events is not None:
+                    for rank in lost:
+                        events.emit(
+                            "rank_failed", "ERROR", rank=rank,
+                            step=step_now, error=repr(exc),
+                        )
+                    events.emit(
+                        "comm_shrunk", "WARNING",
+                        old_ranks=old_n, new_ranks=new_n, lost=lost,
+                    )
+                dsim = dsim.shrunk(new_n)
+                logger.warning(
+                    "rank(s) %s lost permanently; shrinking %d -> %d ranks",
+                    lost, old_n, new_n,
+                )
+                if events is not None:
+                    events.emit(
+                        "reshard", n_ranks=new_n,
+                        n_blocks=dsim.forest.n_blocks,
+                        owner=[int(r) for r in dsim.owner],
+                    )
             state = store.load_latest()
             if state is None:
                 # every generation failed verification: cold restart
@@ -186,8 +275,11 @@ def run_campaign(
                     )
                 else:
                     counters_total[name] = counters_total.get(name, 0) + value
-        checkpoint()
+        if not sharded:
+            checkpoint()
 
+    if sharded:
+        checkpoints_written = store.stats["manifests_published"]
     result = CampaignResult(
         phi=phi,
         mu=mu,
@@ -197,12 +289,29 @@ def run_campaign(
         checkpoints_written=checkpoints_written,
         faults_fired=[] if fault_plan is None else fault_plan.fired(),
         timing=timing_total,
+        rank_failures=rank_failures,
+        shrinks=shrinks,
+        final_ranks=dsim.n_ranks,
+        io_retries=store.stats["io_retries"] if sharded else 0,
+        checkpoints_skipped=(
+            store.stats["checkpoints_skipped"] if sharded else 0
+        ),
     )
     if telemetry is not None:
+        elastic_stats = None
+        if sharded:
+            elastic_stats = {
+                "rank_failures": result.rank_failures,
+                "shrinks": result.shrinks,
+                "final_ranks": int(result.final_ranks),
+                "io_retries": result.io_retries,
+                "checkpoints_skipped": result.checkpoints_skipped,
+            }
         _finalize_campaign_telemetry(
             dsim, telemetry, events, result, counters_total,
             wall=_time.perf_counter() - wall0, guard=guard,
             fault_plan=fault_plan, restart_reasons=restart_reasons,
+            elastic_stats=elastic_stats,
         )
     return result
 
@@ -210,6 +319,7 @@ def run_campaign(
 def _finalize_campaign_telemetry(
     dsim, telemetry, events, result: CampaignResult, counters: dict, *,
     wall: float, guard: bool, fault_plan, restart_reasons: list[str],
+    elastic_stats: dict | None = None,
 ) -> None:
     from repro.telemetry.report import build_run_report, write_run_report
 
@@ -265,6 +375,7 @@ def _finalize_campaign_telemetry(
                 if telemetry.directory is not None else None
             ),
         },
+        elastic_stats=elastic_stats,
     )
     result.report = report
     path = telemetry.report_path()

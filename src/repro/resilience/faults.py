@@ -2,12 +2,15 @@
 
 A :class:`FaultPlan` is a seeded, reproducible list of faults that the
 guarded drivers consult at well-defined points: the start of each time
-step (``rank_kill``, ``nan_inject``), each ghost-exchange send
-(``msg_drop`` / ``msg_corrupt`` / ``msg_delay``) and each checkpoint
-write (``ckpt_truncate``).  Every fault fires **once** — the whole point
-of recovery testing is that the retry after a restart runs clean — and
-the plan records what fired, so a failing test can print the exact
-schedule (and seed) needed to reproduce it.
+step (``rank_kill`` / ``kill_rank`` / ``nan_inject``), each outgoing
+message (``msg_drop`` / ``msg_corrupt`` / ``msg_delay``) and each
+checkpoint write (``ckpt_truncate`` after commit; ``io_enospc`` /
+``io_torn_write`` during the write, exercised through the sharded
+store's retry layer).  Every fault fires **once** — the whole point of
+recovery testing is that the retry after a restart runs clean — and the
+plan records what fired, so a failing test can print the exact schedule
+(and seed) needed to reproduce it.  Scheduling the same fault K times at
+one step models a *persistent* failure that outlasts K retries.
 """
 
 from __future__ import annotations
@@ -26,13 +29,19 @@ __all__ = ["FAULT_KINDS", "Fault", "FaultPlan", "FaultyComm", "poison"]
 logger = logging.getLogger(__name__)
 
 FAULT_KINDS = (
-    "rank_kill",      # the rank raises InjectedFault (process crash)
+    "rank_kill",      # the rank raises InjectedFault (transient process
+                      # crash; the campaign restarts at the same size)
+    "kill_rank",      # the rank is lost permanently (node death); an
+                      # elastic campaign shrinks to the survivors
     "msg_drop",       # a ghost message is lost; the sender detects the
                       # failed transfer and aborts (walltime-kill analog)
     "msg_corrupt",    # a ghost message arrives NaN-poisoned
     "msg_delay",      # a ghost message is delivered late (must be harmless)
     "ckpt_truncate",  # a finished checkpoint file is cut short on disk
     "nan_inject",     # a field value blows up to NaN mid-run
+    "io_enospc",      # a checkpoint write fails with ENOSPC (full disk)
+    "io_torn_write",  # a checkpoint write tears: a prefix reaches the
+                      # final name, then the device errors out
 )
 
 
@@ -134,11 +143,15 @@ def poison(arr: np.ndarray) -> None:
 
 
 class FaultyComm:
-    """Communicator proxy that injects message faults on ``send``.
+    """Communicator proxy that injects message faults on outgoing traffic.
 
     Wraps a :class:`repro.simmpi.comm.Communicator`; the driver advances
     :attr:`step` once per time step so message faults are matched against
-    the simulation clock.  Receives and collectives pass through.
+    the simulation clock.  Every operation with an outgoing payload is
+    intercepted — blocking and non-blocking point-to-point (``send`` /
+    ``isend`` / ``sendrecv``) *and* the rooted collectives — so an
+    injected ``msg_drop`` / ``msg_corrupt`` / ``msg_delay`` hits whichever
+    path the exchange code actually takes.  Receives pass through.
     """
 
     def __init__(self, comm, plan: FaultPlan):
@@ -154,7 +167,8 @@ class FaultyComm:
     def size(self) -> int:
         return self._comm.size
 
-    def send(self, obj, dest: int, tag: int = 0) -> None:
+    def _outgoing(self, obj):
+        """Apply any scheduled message fault to an outgoing payload."""
         if self._plan.fires("msg_drop", step=self.step, rank=self.rank):
             # the transfer fails outright; the sending rank notices and
             # aborts — peers waiting on the message see the world fail
@@ -167,7 +181,45 @@ class FaultyComm:
         fault = self._plan.fires("msg_delay", step=self.step, rank=self.rank)
         if fault is not None:
             _time.sleep(fault.delay)
-        self._comm.send(obj, dest, tag)
+        return obj
+
+    # -- point to point (blocking and non-blocking) ---------------------
+
+    def send(self, obj, dest: int, tag: int = 0) -> None:
+        self._comm.send(self._outgoing(obj), dest, tag)
+
+    def isend(self, obj, dest: int, tag: int = 0):
+        return self._comm.isend(self._outgoing(obj), dest, tag)
+
+    def sendrecv(self, sendobj, dest: int, source: int, sendtag: int = 0,
+                 recvtag: int = -1):
+        return self._comm.sendrecv(
+            self._outgoing(sendobj), dest, source, sendtag, recvtag
+        )
+
+    # -- collectives (fault applies to this rank's contribution) --------
+
+    def bcast(self, obj, root: int = 0):
+        if self.rank == root:
+            obj = self._outgoing(obj)
+        return self._comm.bcast(obj, root)
+
+    def gather(self, obj, root: int = 0):
+        return self._comm.gather(self._outgoing(obj), root)
+
+    def allgather(self, obj):
+        return self._comm.allgather(self._outgoing(obj))
+
+    def scatter(self, objs, root: int = 0):
+        if self.rank == root and objs is not None:
+            objs = [self._outgoing(o) for o in objs]
+        return self._comm.scatter(objs, root)
+
+    def reduce(self, obj, op=None, root: int = 0):
+        return self._comm.reduce(self._outgoing(obj), op, root)
+
+    def allreduce(self, obj, op=None):
+        return self._comm.allreduce(self._outgoing(obj), op)
 
     def __getattr__(self, name):
         return getattr(self._comm, name)

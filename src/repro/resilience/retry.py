@@ -1,0 +1,86 @@
+"""Bounded retry with exponential backoff and deterministic jitter.
+
+Checkpoint I/O at production scale fails transiently all the time — a
+full scratch quota, a flaky OST, a torn write under memory pressure.
+The paper's campaigns survive because the job tooling retries; this
+module is that wrapper, sized for the simulated runs: delays are
+milliseconds, attempts are few, and the jitter is drawn from a **seeded**
+generator so fault-injected tests replay byte-identically.
+
+The policy is deliberately bounded: a persistent failure exhausts the
+attempts and re-raises, and the *caller* decides whether that is fatal —
+the sharded checkpoint writer, for example, skips the checkpoint with a
+logged event rather than killing a multi-day run over a full disk.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RetryPolicy", "retry_io"]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule: ``base * 2**attempt``, capped, with jitter.
+
+    *jitter* scales each delay by a factor drawn uniformly from
+    ``[1 - jitter, 1]`` — backing off slightly early de-synchronizes
+    ranks hammering the same filesystem, the standard thundering-herd
+    fix.  ``attempts`` counts total tries (first call included).
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.002
+    max_delay: float = 0.05
+    jitter: float = 0.5
+
+    def delay_for(self, attempt: int, rng: np.random.Generator) -> float:
+        delay = min(self.max_delay, self.base_delay * (2.0 ** attempt))
+        return delay * (1.0 - self.jitter * float(rng.random()))
+
+
+def retry_io(
+    fn,
+    *,
+    policy: RetryPolicy | None = None,
+    seed: int = 0,
+    retry_on: tuple = (OSError,),
+    on_retry=None,
+    describe: str = "io operation",
+):
+    """Call ``fn()`` until it succeeds or the policy is exhausted.
+
+    Exceptions matching *retry_on* trigger another attempt after a
+    backoff sleep; the last attempt's exception propagates unchanged.
+    *on_retry* (``fn(attempt, exc, delay)``) observes every retry — the
+    checkpoint stores use it to emit ``io_retry`` telemetry events.
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    if policy.attempts < 1:
+        raise ValueError("need at least one attempt")
+    rng = np.random.default_rng(seed)
+    for attempt in range(policy.attempts):
+        try:
+            return fn()
+        except retry_on as exc:  # noqa: PERF203 - retry loop
+            if attempt == policy.attempts - 1:
+                logger.error(
+                    "%s failed after %d attempt(s): %r",
+                    describe, policy.attempts, exc,
+                )
+                raise
+            delay = policy.delay_for(attempt, rng)
+            logger.warning(
+                "%s failed (%r); retry %d/%d in %.1f ms",
+                describe, exc, attempt + 1, policy.attempts - 1, delay * 1e3,
+            )
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+            time.sleep(delay)

@@ -11,13 +11,24 @@ actually loads.
 
 from __future__ import annotations
 
+import errno
 import logging
 import os
+import threading
 from pathlib import Path
 
 from repro.io.checkpoint import CheckpointError, load_checkpoint, save_state
+from repro.io.sharded import (
+    load_sharded,
+    manifest_path,
+    reshard,
+    shard_path,
+    write_manifest,
+    write_shard,
+)
+from repro.resilience.retry import RetryPolicy, retry_io
 
-__all__ = ["CheckpointStore"]
+__all__ = ["CheckpointStore", "ShardedCheckpointStore"]
 
 logger = logging.getLogger(__name__)
 
@@ -140,3 +151,261 @@ class CheckpointStore:
         logger.warning("quarantining corrupt checkpoint %s: %s", path, exc)
         self.quarantine_dir.mkdir(exist_ok=True)
         os.replace(path, self.quarantine_dir / path.name)
+
+
+class ShardedCheckpointStore:
+    """Store of two-phase sharded checkpoints with rotation and quarantine.
+
+    The elastic counterpart of :class:`CheckpointStore`: every simulated
+    rank writes its own block shard (:func:`repro.io.sharded.write_shard`)
+    and rank 0 commits the generation by publishing a manifest — a
+    checkpoint without a manifest was interrupted mid-write and is never
+    loaded.  Because the manifest records the domain topology and block
+    ownership, :meth:`load_latest` restores on **any** process count
+    (N→M resharding), which is what lets a campaign shrink after a rank
+    failure and resume.
+
+    Writes go through a bounded exponential-backoff retry
+    (:mod:`repro.resilience.retry`); scheduled ``io_enospc`` /
+    ``io_torn_write`` faults from *fault_plan* are injected inside the
+    retried attempt, so one scheduled fault exercises the retry path and
+    K ≥ attempts scheduled faults model a persistent outage.
+
+    Thread-safe: simulated ranks share one instance across threads.
+    """
+
+    def __init__(self, directory, *, keep: int = 3, prefix: str = "ck",
+                 fault_plan=None, retry_policy: RetryPolicy | None = None,
+                 retry_seed: int = 0):
+        if keep < 1:
+            raise ValueError("keep must be at least 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+        self.prefix = prefix
+        self.fault_plan = fault_plan
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.retry_seed = retry_seed
+        self._lock = threading.Lock()
+        self.stats = {
+            "shards_written": 0,
+            "manifests_published": 0,
+            "io_retries": 0,
+            "checkpoints_skipped": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # paths
+    # ------------------------------------------------------------------ #
+
+    def manifest_for(self, step: int) -> Path:
+        return manifest_path(self.directory, self.prefix, step)
+
+    def shard_for(self, step: int, rank: int) -> Path:
+        return shard_path(self.directory, self.prefix, step, rank)
+
+    def _step_of(self, path: Path) -> int:
+        return int(path.name.split("-")[-1].split(".")[0])
+
+    def manifests(self) -> list[Path]:
+        """Committed checkpoint generations, oldest first."""
+        paths = self.directory.glob(f"{self.prefix}-*.manifest.json")
+        return sorted(paths, key=self._step_of)
+
+    def shards(self) -> list[Path]:
+        """All shard files present, committed or orphaned."""
+        paths = self.directory.glob(f"{self.prefix}-*.rank*.npz")
+        return sorted(paths, key=lambda p: (self._step_of(p), p.name))
+
+    def steps(self) -> list[int]:
+        """Steps with a committed (manifest-published) checkpoint."""
+        return [self._step_of(p) for p in self.manifests()]
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.directory / "quarantine"
+
+    def quarantined(self) -> list[Path]:
+        if not self.quarantine_dir.exists():
+            return []
+        return sorted(self.quarantine_dir.iterdir())
+
+    # ------------------------------------------------------------------ #
+    # write phase (per rank)
+    # ------------------------------------------------------------------ #
+
+    def write_rank_shard(self, *, rank: int, step: int, blocks: dict,
+                         events=None) -> dict:
+        """Durably write one rank's shard; returns its manifest entry.
+
+        Retries transient I/O failures with backoff (each retry emits an
+        ``io_retry`` event when *events* is given); a persistent failure
+        re-raises ``OSError`` and the caller skips this checkpoint.
+        """
+        path = self.shard_for(step, rank)
+
+        def attempt():
+            self._maybe_inject_io_fault(path, step=step, rank=rank,
+                                        blocks=blocks)
+            return write_shard(path, blocks, rank=rank)
+
+        def on_retry(attempt_i, exc, delay):
+            with self._lock:
+                self.stats["io_retries"] += 1
+            if events is not None:
+                events.emit(
+                    "io_retry", "WARNING", step=step, rank=rank,
+                    attempt=attempt_i + 1, error=repr(exc), delay=delay,
+                )
+
+        entry = retry_io(
+            attempt,
+            policy=self.retry_policy,
+            seed=self.retry_seed + 7919 * step + rank,
+            on_retry=on_retry,
+            describe=f"shard write (step {step}, rank {rank})",
+        )
+        with self._lock:
+            self.stats["shards_written"] += 1
+        return entry
+
+    def _maybe_inject_io_fault(self, path: Path, *, step: int, rank: int,
+                               blocks: dict) -> None:
+        if self.fault_plan is None:
+            return
+        fault = self.fault_plan.fires("io_enospc", step=step, rank=rank)
+        if fault is not None:
+            raise OSError(errno.ENOSPC, "injected: no space left on device")
+        fault = self.fault_plan.fires("io_torn_write", step=step, rank=rank)
+        if fault is not None:
+            # model a non-atomic filesystem: a prefix of the shard reaches
+            # the final name before the device errors out — the retry must
+            # overwrite the torn file with a complete one
+            write_shard(path, blocks, rank=rank)
+            size = path.stat().st_size
+            with open(path, "r+b") as fh:
+                fh.truncate(max(1, int(size * fault.fraction)))
+            raise OSError(errno.EIO, "injected: torn write")
+
+    # ------------------------------------------------------------------ #
+    # publish phase (rank 0)
+    # ------------------------------------------------------------------ #
+
+    def publish_manifest(self, shard_entries: list[dict], *, step: int,
+                         time: float, topology: dict, z_offset: int = 0,
+                         kernel: str = "") -> Path:
+        """Commit one generation (write-all-then-publish), then rotate."""
+        path = write_manifest(
+            self.manifest_for(step), shard_entries,
+            step=step, time=time, topology=topology,
+            z_offset=z_offset, kernel=kernel,
+        )
+        with self._lock:
+            self.stats["manifests_published"] += 1
+        self._rotate()
+        return path
+
+    def note_skipped(self) -> None:
+        """Record a checkpoint that was skipped after persistent I/O failure."""
+        with self._lock:
+            self.stats["checkpoints_skipped"] += 1
+
+    def save_global(self, state: dict, *, forest, owner, n_ranks: int,
+                    events=None) -> Path:
+        """Shard and commit a gathered global state (initial checkpoints).
+
+        Plays all ranks' write phases sequentially, then publishes — the
+        same bytes and the same two-phase ordering an SPMD region
+        produces, usable from the single-threaded campaign driver.
+        """
+        step = int(state["step_count"])
+        entries = []
+        for rank in range(n_ranks):
+            blocks = {}
+            for b in forest.blocks:
+                if owner[b.id] != rank:
+                    continue
+                sl = (slice(None),) + tuple(
+                    slice(o, o + s) for o, s in zip(b.offset, b.shape)
+                )
+                blocks[b.id] = (state["phi"][sl], state["mu"][sl])
+            entries.append(
+                self.write_rank_shard(rank=rank, step=step, blocks=blocks,
+                                      events=events)
+            )
+        return self.publish_manifest(
+            entries, step=step, time=float(state["time"]),
+            topology={**forest.meta(), "n_ranks": int(n_ranks),
+                      "owner": [int(r) for r in owner]},
+            z_offset=int(state.get("z_offset", 0)),
+            kernel=state.get("kernel", ""),
+        )
+
+    # ------------------------------------------------------------------ #
+    # load / reshard
+    # ------------------------------------------------------------------ #
+
+    def load_latest(self) -> dict | None:
+        """Newest committed generation that verifies, or ``None``.
+
+        Walks manifests newest-first; a generation whose manifest or any
+        shard fails verification is quarantined (moved, never deleted)
+        and the walk continues.  Orphan shards with no manifest — an
+        interrupted write phase — are invisible here by construction.
+        """
+        for path in reversed(self.manifests()):
+            try:
+                return load_sharded(path)
+            except CheckpointError as exc:
+                self._quarantine(path, exc)
+        return None
+
+    def load_resharded(self, n_ranks: int, *,
+                       strategy: str = "contiguous") -> dict | None:
+        """:meth:`load_latest` plus the N→M regrouping for *n_ranks*.
+
+        The returned state carries a ``reshard`` key: the new owner map
+        and each new rank's block bundle
+        (:func:`repro.io.sharded.reshard`).
+        """
+        state = self.load_latest()
+        if state is None:
+            return None
+        state["reshard"] = reshard(state, n_ranks, strategy=strategy)
+        return state
+
+    # ------------------------------------------------------------------ #
+    # housekeeping
+    # ------------------------------------------------------------------ #
+
+    def _generation_files(self, manifest: Path) -> list[Path]:
+        step = self._step_of(manifest)
+        return [p for p in self.shards() if self._step_of(p) == step]
+
+    def _rotate(self) -> None:
+        manifests = self.manifests()
+        for manifest in manifests[: max(0, len(manifests) - self.keep)]:
+            for shard in self._generation_files(manifest):
+                shard.unlink(missing_ok=True)
+            manifest.unlink(missing_ok=True)
+        # garbage-collect orphan shards of *older* steps that never got a
+        # manifest (interrupted write phase); the newest step may still be
+        # mid-write, so it is left alone
+        committed = {self._step_of(p) for p in self.manifests()}
+        if committed:
+            newest = max(committed)
+            for shard in self.shards():
+                step = self._step_of(shard)
+                if step < newest and step not in committed:
+                    shard.unlink(missing_ok=True)
+
+    def _quarantine(self, manifest: Path, exc: CheckpointError) -> None:
+        logger.warning(
+            "quarantining corrupt sharded checkpoint %s: %s", manifest, exc
+        )
+        self.quarantine_dir.mkdir(exist_ok=True)
+        for path in (*self._generation_files(manifest), manifest):
+            if path.exists():
+                os.replace(path, self.quarantine_dir / path.name)

@@ -12,14 +12,26 @@ reduction) run unmodified and are exercised end-to-end.
 Main entry points:
 
 * :func:`repro.simmpi.runtime.run_spmd` — launch an SPMD function,
+* :func:`repro.simmpi.runtime.run_spmd_elastic` — launch with ULFM-style
+  failure containment (peer death becomes a typed
+  :class:`~repro.simmpi.comm.RankFailure`; survivors
+  :meth:`~repro.simmpi.comm.Communicator.shrink` and continue),
 * :class:`repro.simmpi.comm.Communicator` — send/recv/collectives,
 * :class:`repro.simmpi.cart.CartComm` — cartesian topology helper,
 * :mod:`repro.simmpi.reduce_tree` — the log2(P) pairwise reduction
   schedule used by the mesh output pipeline.
 """
 
-from repro.simmpi.comm import Communicator, Request
-from repro.simmpi.runtime import run_spmd
+from repro.simmpi.comm import Communicator, RankFailure, RemoteError, Request
+from repro.simmpi.runtime import run_spmd, run_spmd_elastic
 from repro.simmpi.cart import CartComm
 
-__all__ = ["Communicator", "Request", "run_spmd", "CartComm"]
+__all__ = [
+    "Communicator",
+    "RankFailure",
+    "RemoteError",
+    "Request",
+    "run_spmd",
+    "run_spmd_elastic",
+    "CartComm",
+]

@@ -17,7 +17,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["ANY_SOURCE", "ANY_TAG", "Communicator", "Request", "CommStats"]
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "Request",
+    "CommStats",
+    "RemoteError",
+    "RankFailure",
+]
 
 ANY_SOURCE = -1
 ANY_TAG = -1
@@ -28,6 +36,24 @@ _POLL = 0.05
 
 class RemoteError(RuntimeError):
     """Raised on ranks blocked in communication when a peer rank failed."""
+
+
+class RankFailure(RemoteError):
+    """A peer rank died; the communicator is revoked (ULFM-style).
+
+    Carries the identities of the dead ranks so survivors can decide how
+    to :meth:`Communicator.shrink`.  Once any rank is marked dead, every
+    operation on the old communicator that would have to *wait* raises
+    this instead of hanging; already-queued matching messages still
+    drain, mirroring how MPI ULFM lets posted receives complete.
+    """
+
+    def __init__(self, failed_ranks):
+        self.failed_ranks = tuple(sorted(set(failed_ranks)))
+        super().__init__(
+            f"peer rank(s) {list(self.failed_ranks)} failed; "
+            "communicator revoked — shrink() to continue on survivors"
+        )
 
 
 def _copy_payload(obj):
@@ -62,16 +88,24 @@ class _Mailbox:
             self._messages.append((source, tag, payload))
             self._cond.notify_all()
 
-    def get(self, source: int, tag: int, failed: threading.Event):
+    def get(self, source: int, tag: int, world: "_World"):
         with self._cond:
             while True:
                 for i, (src, tg, payload) in enumerate(self._messages):
                     if (source in (ANY_SOURCE, src)) and (tag in (ANY_TAG, tg)):
                         del self._messages[i]
                         return src, tg, payload
-                if failed.is_set():
+                if world.failed.is_set():
                     raise RemoteError("a peer rank failed while this rank waited")
+                dead = world.dead_ranks()
+                if dead:
+                    raise RankFailure(dead)
                 self._cond.wait(timeout=_POLL)
+
+    def kick(self) -> None:
+        """Wake all waiters so they re-check the world's failure state."""
+        with self._cond:
+            self._cond.notify_all()
 
     def probe(self, source: int, tag: int) -> bool:
         with self._cond:
@@ -82,7 +116,18 @@ class _Mailbox:
 
 
 class _World:
-    """Shared state of one SPMD run."""
+    """Shared state of one SPMD run.
+
+    Two failure modes coexist:
+
+    * ``failed`` — fatal whole-world abort (:func:`~repro.simmpi.runtime.
+      run_spmd`): every blocked rank raises :class:`RemoteError` and the
+      run is torn down.
+    * ``dead`` — contained rank death (:func:`~repro.simmpi.runtime.
+      run_spmd_elastic`): the world is *revoked*, blocked survivors raise
+      :class:`RankFailure` and may rendezvous in :meth:`shrink` to obtain
+      a fresh sub-world spanning only the survivors.
+    """
 
     def __init__(self, size: int) -> None:
         self.size = size
@@ -90,6 +135,54 @@ class _World:
         self.barrier = threading.Barrier(size)
         self.failed = threading.Event()
         self.stats = [CommStats() for _ in range(size)]
+        self.dead: set[int] = set()
+        self._dead_lock = threading.Lock()
+        self._shrink_cond = threading.Condition()
+        self._shrink_waiting: set[int] = set()
+        self._shrink_result: tuple[list[int], "_World"] | None = None
+
+    def dead_ranks(self) -> tuple[int, ...]:
+        with self._dead_lock:
+            return tuple(sorted(self.dead))
+
+    def mark_dead(self, rank: int) -> None:
+        """Record a contained rank death and revoke the world.
+
+        Blocked peers are woken (mailboxes kicked, barrier aborted) so
+        they observe the death as a :class:`RankFailure` instead of
+        hanging on a message or barrier slot that will never be filled.
+        """
+        with self._dead_lock:
+            self.dead.add(rank)
+        self.barrier.abort()
+        for mailbox in self.mailboxes:
+            mailbox.kick()
+        with self._shrink_cond:
+            self._shrink_cond.notify_all()
+
+    def shrink_rendezvous(self, rank: int) -> tuple[list[int], "_World"]:
+        """Collective among survivors: agree on and build the sub-world.
+
+        Blocks until every currently-live rank has arrived (ranks that
+        die while others wait shrink the expected set further).  The
+        first completer builds one shared ``(survivor_order, new_world)``
+        pair; everyone returns the same object, so payload mailboxes and
+        the barrier are common to all survivors.
+        """
+        with self._shrink_cond:
+            self._shrink_waiting.add(rank)
+            self._shrink_cond.notify_all()
+            while True:
+                if self._shrink_result is not None:
+                    return self._shrink_result
+                with self._dead_lock:
+                    survivors = set(range(self.size)) - self.dead
+                if survivors and survivors <= self._shrink_waiting:
+                    order = sorted(survivors)
+                    self._shrink_result = (order, _World(len(order)))
+                    self._shrink_cond.notify_all()
+                    return self._shrink_result
+                self._shrink_cond.wait(timeout=_POLL)
 
 
 @dataclass
@@ -138,7 +231,7 @@ class Communicator:
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Blocking receive; returns the payload."""
         _, _, payload = self._world.mailboxes[self.rank].get(
-            source, tag, self._world.failed
+            source, tag, self._world
         )
         self._world.stats[self.rank].recvs += 1
         return payload
@@ -168,7 +261,29 @@ class Communicator:
                 self._world.barrier.wait(timeout=None)
                 return
             except threading.BrokenBarrierError:
-                raise RemoteError("barrier broken by a failed peer")
+                dead = self._world.dead_ranks()
+                if dead:
+                    raise RankFailure(dead) from None
+                raise RemoteError("barrier broken by a failed peer") from None
+
+    # -- failure containment -------------------------------------------------
+
+    def failed_ranks(self) -> tuple[int, ...]:
+        """Ranks of this world marked dead (empty while healthy)."""
+        return self._world.dead_ranks()
+
+    def shrink(self) -> "Communicator":
+        """Build a working sub-communicator from the surviving ranks.
+
+        Collective over the survivors of a revoked world: every live rank
+        must call it (typically from its ``except RankFailure`` handler).
+        Ranks are renumbered densely — old rank order is preserved, so
+        survivor ``k`` of the sorted survivor list becomes new rank ``k``
+        — and the returned communicator has fresh mailboxes, barrier and
+        statistics.  The old communicator stays revoked.
+        """
+        order, new_world = self._world.shrink_rendezvous(self.rank)
+        return Communicator(new_world, order.index(self.rank))
 
     def bcast(self, obj, root: int = 0):
         """Binomial-tree broadcast from *root*."""

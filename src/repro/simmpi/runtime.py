@@ -14,7 +14,7 @@ import threading
 
 from repro.simmpi.comm import Communicator, RemoteError, _World
 
-__all__ = ["run_spmd", "run_spmd_resilient"]
+__all__ = ["run_spmd", "run_spmd_elastic", "run_spmd_resilient"]
 
 logger = logging.getLogger(__name__)
 
@@ -64,6 +64,55 @@ def run_spmd(n_ranks: int, fn, *args, **kwargs) -> list:
     if secondary is not None:
         raise secondary
     return results
+
+
+def run_spmd_elastic(n_ranks: int, fn, *args, **kwargs) -> tuple[list, dict]:
+    """Run *fn* with ULFM-style failure containment instead of world abort.
+
+    A rank whose function raises is marked **dead** in the world — it
+    does not tear the run down.  Peers blocked in communication observe
+    the death as a typed :class:`~repro.simmpi.comm.RankFailure` and may
+    call :meth:`~repro.simmpi.comm.Communicator.shrink` to obtain a
+    working sub-communicator of the survivors and finish their work.
+
+    Returns ``(results, failures)``: *results* is the per-rank return
+    value list (``None`` for dead ranks) and *failures* maps each dead
+    rank to the exception that killed it (each annotated with a
+    ``simmpi_rank`` attribute).  Nothing is re-raised — containment is
+    the whole point — so callers decide how to treat partial success.
+    """
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    world = _World(n_ranks)
+    results: list = [None] * n_ranks
+    errors: list = [None] * n_ranks
+
+    def entry(rank: int) -> None:
+        comm = Communicator(world, rank)
+        try:
+            results[rank] = fn(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - reported via failures
+            exc.simmpi_rank = rank
+            errors[rank] = exc
+            if not isinstance(exc, RemoteError):
+                logger.warning("rank %d died (contained): %r", rank, exc)
+            world.mark_dead(rank)
+
+    threads = [
+        threading.Thread(target=entry, args=(r,), name=f"simmpi-elastic-{r}")
+        for r in range(n_ranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    failures = {r: e for r, e in enumerate(errors) if e is not None}
+    if failures:
+        logger.info(
+            "elastic SPMD run finished with %d contained failure(s): ranks %s",
+            len(failures), sorted(failures),
+        )
+    return results, failures
 
 
 def run_spmd_resilient(

@@ -79,6 +79,20 @@ RUN_REPORT_SCHEMA = {
             "type": "object",
             "required": ["count", "path"],
         },
+        "elastic": {
+            "type": "object",
+            "required": [
+                "rank_failures", "shrinks", "final_ranks",
+                "io_retries", "checkpoints_skipped",
+            ],
+            "properties": {
+                "rank_failures": {"type": "integer", "minimum": 0},
+                "shrinks": {"type": "integer", "minimum": 0},
+                "final_ranks": {"type": "integer", "minimum": 1},
+                "io_retries": {"type": "integer", "minimum": 0},
+                "checkpoints_skipped": {"type": "integer", "minimum": 0},
+            },
+        },
         "series": {"type": "object"},
     },
 }
@@ -109,6 +123,7 @@ def build_run_report(
     guard_stats: dict | None = None,
     fault_stats: dict | None = None,
     event_stats: dict | None = None,
+    elastic_stats: dict | None = None,
     series: dict | None = None,
     created: float | None = None,
 ) -> dict:
@@ -118,7 +133,9 @@ def build_run_report(
     (:mod:`repro.telemetry.reduce`) or a
     :meth:`~repro.grid.timeloop.Timeloop.timing_report` dump; *series*
     carries optional figure data (e.g. the Fig. 6 ladder table).
-    *created* defaults to the current time — pass a fixed value for
+    *elastic_stats* — rank-failure/shrink/I-O-retry accounting from an
+    elastic campaign — adds the optional ``elastic`` section.  *created*
+    defaults to the current time — pass a fixed value for
     byte-reproducible reports.
     """
     shape = [int(s) for s in grid_shape]
@@ -146,6 +163,11 @@ def build_run_report(
         "faults": {"fired": [], "pending": 0, **(fault_stats or {})},
         "events": {"count": 0, "path": None, **(event_stats or {})},
     }
+    if elastic_stats is not None:
+        report["elastic"] = {
+            "rank_failures": 0, "shrinks": 0, "final_ranks": int(n_ranks),
+            "io_retries": 0, "checkpoints_skipped": 0, **elastic_stats,
+        }
     if series is not None:
         report["series"] = series
     validate_run_report(report)
@@ -220,6 +242,16 @@ def validate_run_report(report: dict) -> None:
         isinstance(events, dict) and "count" in events and "path" in events,
         "events must carry count and path",
     )
+    if "elastic" in report:
+        elastic = report["elastic"]
+        _require(isinstance(elastic, dict), "elastic must be an object")
+        for key in ("rank_failures", "shrinks", "final_ranks",
+                    "io_retries", "checkpoints_skipped"):
+            _require(
+                key in elastic
+                and isinstance(elastic[key], int) and elastic[key] >= 0,
+                f"elastic.{key} must be a non-negative integer",
+            )
     if "series" in report:
         _require(isinstance(report["series"], dict),
                  "series must be an object")

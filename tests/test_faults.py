@@ -16,6 +16,8 @@ from repro.resilience import (
     FaultPlan,
     FaultyComm,
     InjectedFault,
+    RetryPolicy,
+    ShardedCheckpointStore,
     run_campaign,
 )
 from repro.simmpi.runtime import run_spmd, run_spmd_resilient
@@ -198,3 +200,202 @@ class TestFaultyComm:
         results = run_spmd(2, fn)
         assert np.isnan(results[1]).any()
         assert not np.isnan(results[1]).all()
+
+    # regression: message faults must hit every outgoing path, not just
+    # blocking send — the overlap schedule uses isend, collectives carry
+    # checkpoint entries and reductions
+
+    def test_isend_drop_raises_on_sender(self):
+        plan = FaultPlan([Fault(kind="msg_drop", step=0, rank=0)], seed=SEED)
+
+        def fn(comm):
+            fc = FaultyComm(comm, plan)
+            if comm.rank == 0:
+                req = fc.isend(np.ones(3), dest=1, tag=9)
+                req.wait()
+            else:
+                return comm.recv(0, tag=9)
+
+        with pytest.raises(InjectedFault, match="msg_drop"):
+            run_spmd(2, fn)
+
+    def test_sendrecv_corrupts_outgoing_payload(self):
+        plan = FaultPlan([Fault(kind="msg_corrupt", step=0, rank=0)], seed=SEED)
+
+        def fn(comm):
+            fc = FaultyComm(comm, plan)
+            other = 1 - comm.rank
+            return fc.sendrecv(np.ones(6), dest=other, source=other, sendtag=9)
+
+        results = run_spmd(2, fn)
+        # rank 0's outgoing payload was poisoned, so rank 1 received NaNs;
+        # rank 0 received rank 1's clean payload
+        assert not np.isnan(results[0]).any()
+        assert np.isnan(results[1]).any()
+
+    def test_bcast_corrupts_at_root_only(self):
+        plan = FaultPlan([Fault(kind="msg_corrupt", step=0, rank=0)], seed=SEED)
+
+        def fn(comm):
+            fc = FaultyComm(comm, plan)
+            obj = np.ones(6) if comm.rank == 0 else None
+            return fc.bcast(obj, root=0)
+
+        results = run_spmd(3, fn)
+        for received in results:
+            assert np.isnan(received).any()
+
+    def test_allreduce_drop_raises(self):
+        plan = FaultPlan([Fault(kind="msg_drop", step=0, rank=1)], seed=SEED)
+
+        def fn(comm):
+            fc = FaultyComm(comm, plan)
+            return fc.allreduce(np.ones(3))
+
+        with pytest.raises(InjectedFault, match="msg_drop"):
+            run_spmd(2, fn)
+
+    def test_gather_corrupts_contribution(self):
+        plan = FaultPlan([Fault(kind="msg_corrupt", step=0, rank=1)], seed=SEED)
+
+        def fn(comm):
+            fc = FaultyComm(comm, plan)
+            return fc.gather(np.ones(6), root=0)
+
+        results = run_spmd(2, fn)
+        gathered = results[0]
+        assert not np.isnan(gathered[0]).any()
+        assert np.isnan(gathered[1]).any()
+
+
+class TestElasticCampaign:
+    """kill_rank shrinks the campaign; checkpoint I/O faults are retried."""
+
+    def _sim(self):
+        system = TernaryEutecticSystem()
+        phi0, mu0 = voronoi_initial_condition(
+            system, SHAPE, solid_height=7, n_seeds=4
+        )
+        phi0 = smooth_phase_field(phi0, 2)
+        dsim = DistributedSimulation(
+            SHAPE, (2, 2), system=system, kernel="buffered"
+        )
+        return dsim, phi0, mu0
+
+    def test_kill_rank_shrinks_and_finishes(self, tmp_path):
+        dsim, phi0, mu0 = self._sim()
+        plan = FaultPlan([Fault(kind="kill_rank", step=3, rank=1)], seed=SEED)
+        print(plan.describe())
+        store = ShardedCheckpointStore(tmp_path, fault_plan=plan)
+        result = run_campaign(
+            dsim, STEPS, phi0, mu0,
+            store=store, checkpoint_every=2, fault_plan=plan,
+        )
+        assert result.steps == STEPS
+        assert result.shrinks == 1
+        assert result.final_ranks == 3
+        assert result.restarts == 1
+        ref = dsim.run(STEPS, phi0, mu0)
+        np.testing.assert_allclose(result.phi, ref.phi, atol=1e-5)
+
+    def test_repeated_kills_shrink_to_one_rank(self, tmp_path):
+        dsim, phi0, mu0 = self._sim()
+        plan = FaultPlan(
+            [Fault(kind="kill_rank", step=3, rank=1),
+             Fault(kind="kill_rank", step=5, rank=2),
+             Fault(kind="kill_rank", step=6, rank=1)],
+            seed=SEED,
+        )
+        print(plan.describe())
+        store = ShardedCheckpointStore(tmp_path, fault_plan=plan)
+        result = run_campaign(
+            dsim, STEPS, phi0, mu0,
+            store=store, checkpoint_every=2, fault_plan=plan,
+        )
+        assert result.steps == STEPS
+        assert result.shrinks == 3
+        assert result.final_ranks == 1
+        ref = dsim.run(STEPS, phi0, mu0)
+        np.testing.assert_allclose(result.phi, ref.phi, atol=1e-5)
+
+    def test_transient_io_faults_retried_without_restart(self, tmp_path):
+        dsim, phi0, mu0 = self._sim()
+        plan = FaultPlan(
+            [Fault(kind="io_enospc", step=2, rank=1),
+             Fault(kind="io_torn_write", step=2, rank=3)],
+            seed=SEED,
+        )
+        print(plan.describe())
+        store = ShardedCheckpointStore(
+            tmp_path, fault_plan=plan,
+            retry_policy=RetryPolicy(attempts=4, base_delay=1e-4),
+        )
+        result = run_campaign(
+            dsim, STEPS, phi0, mu0,
+            store=store, checkpoint_every=2, fault_plan=plan,
+        )
+        assert result.restarts == 0
+        assert result.io_retries >= 2
+        assert result.checkpoints_skipped == 0
+        ref = dsim.run(STEPS, phi0, mu0)
+        np.testing.assert_array_equal(result.phi, ref.phi)
+
+    def test_persistent_io_outage_skips_checkpoint_never_crashes(
+        self, tmp_path
+    ):
+        dsim, phi0, mu0 = self._sim()
+        plan = FaultPlan(
+            [Fault(kind="io_enospc", step=2, rank=1) for _ in range(8)],
+            seed=SEED,
+        )
+        print(plan.describe())
+        store = ShardedCheckpointStore(
+            tmp_path, fault_plan=plan,
+            retry_policy=RetryPolicy(attempts=3, base_delay=1e-4),
+        )
+        result = run_campaign(
+            dsim, STEPS, phi0, mu0,
+            store=store, checkpoint_every=2, fault_plan=plan,
+        )
+        assert result.restarts == 0
+        assert result.checkpoints_skipped == 1
+        assert 2 not in store.steps()  # the outage generation was skipped
+        assert store.steps()[-1] == STEPS
+        ref = dsim.run(STEPS, phi0, mu0)
+        np.testing.assert_array_equal(result.phi, ref.phi)
+
+    def test_elastic_telemetry_and_report(self, tmp_path):
+        import json
+
+        from repro.telemetry import RunTelemetry
+        from repro.telemetry.report import validate_run_report
+
+        dsim, phi0, mu0 = self._sim()
+        plan = FaultPlan(
+            [Fault(kind="kill_rank", step=3, rank=1),
+             Fault(kind="io_enospc", step=2, rank=0)],
+            seed=SEED,
+        )
+        print(plan.describe())
+        store = ShardedCheckpointStore(
+            tmp_path / "ck", fault_plan=plan,
+            retry_policy=RetryPolicy(attempts=4, base_delay=1e-4),
+        )
+        result = run_campaign(
+            dsim, STEPS, phi0, mu0,
+            store=store, checkpoint_every=2, fault_plan=plan,
+            telemetry=RunTelemetry(directory=tmp_path / "tel", run_id="el"),
+        )
+        validate_run_report(result.report)
+        elastic = result.report["elastic"]
+        assert elastic["rank_failures"] == 1
+        assert elastic["shrinks"] == 1
+        assert elastic["final_ranks"] == 3
+        assert elastic["io_retries"] >= 1
+        assert elastic["checkpoints_skipped"] == 0
+
+        merged = (tmp_path / "tel" / "events-merged.jsonl").read_text()
+        kinds = [json.loads(line)["kind"] for line in merged.splitlines()]
+        for kind in ("rank_failed", "comm_shrunk", "reshard", "io_retry",
+                     "checkpoint"):
+            assert kind in kinds, f"missing {kind} event"

@@ -66,6 +66,29 @@ class TestLoadLatest:
         assert [p.name for p in quarantined] == [newest.name]
         assert not newest.exists()
 
+    def test_crc_corrupt_newest_quarantined_older_served(self, sim, tmp_path):
+        """A bit-flipped field (valid archive, wrong CRC) is quarantined.
+
+        Unlike truncation, the file still opens as a perfectly good npz —
+        only the integrity manifest's checksum catches the corruption.
+        """
+        store = CheckpointStore(tmp_path, keep=3)
+        sim.step(1)
+        store.save(sim)
+        sim.step(1)
+        newest = store.save(sim)
+
+        with np.load(newest) as data:
+            payload = {name: np.array(data[name]) for name in data.files}
+        payload["phi"].flat[0] += 1.0  # flip a value, keep manifest intact
+        with open(newest, "wb") as fh:
+            np.savez_compressed(fh, **payload)
+
+        state = store.load_latest()
+        assert state["step_count"] == 1
+        assert [p.name for p in store.quarantined()] == [newest.name]
+        assert not newest.exists()
+
     def test_all_corrupt_returns_none(self, sim, tmp_path):
         store = CheckpointStore(tmp_path, keep=3)
         sim.step(1)

@@ -11,7 +11,13 @@ import pytest
 from repro.core.nucleation import smooth_phase_field, voronoi_initial_condition
 from repro.core.solver import Simulation
 from repro.distributed import DistributedSimulation
-from repro.resilience import CheckpointStore
+from repro.resilience import (
+    CheckpointStore,
+    Fault,
+    FaultPlan,
+    ShardedCheckpointStore,
+    run_campaign,
+)
 from repro.thermo.system import TernaryEutecticSystem
 
 SHAPE = (12, 20)
@@ -73,6 +79,45 @@ def test_distributed_restart_matches_uninterrupted(setup, tmp_path, overlap):
     )
     np.testing.assert_allclose(resumed.phi, uninterrupted.phi, atol=1e-4)
     np.testing.assert_allclose(resumed.mu, uninterrupted.mu, atol=1e-4)
+
+
+@pytest.mark.faults
+def test_elastic_shrink_matches_checkpoint_restart(setup, tmp_path):
+    """Acceptance: a campaign that loses a rank mid-run shrinks N -> N-1,
+    resumes from the last committed sharded checkpoint and finishes with
+    fields **bitwise identical** to an unfaulted run that checkpointed
+    and restarted at the same step."""
+    system, phi0, mu0 = setup
+    dsim = DistributedSimulation(SHAPE, (2, 2), system=system, kernel="buffered")
+    plan = FaultPlan([Fault(kind="kill_rank", step=5, rank=2)])
+    print(plan.describe())
+    store = ShardedCheckpointStore(tmp_path / "elastic", fault_plan=plan)
+    result = run_campaign(
+        dsim, M, phi0, mu0, store=store, checkpoint_every=2, fault_plan=plan
+    )
+    assert result.steps == M
+    assert result.rank_failures == 1
+    assert result.shrinks == 1
+    assert result.final_ranks == 3
+
+    # reference: unfaulted 4-rank run that checkpoints and restarts at the
+    # same boundary (step 4, the last commit before the step-5 kill)
+    ref_dsim = DistributedSimulation(
+        SHAPE, (2, 2), system=system, kernel="buffered"
+    )
+    first = ref_dsim.run(N, phi0, mu0)
+    ref_store = ShardedCheckpointStore(tmp_path / "ref")
+    ref_store.save_global(
+        {"phi": first.phi, "mu": first.mu, "time": N * ref_dsim.params.dt,
+         "step_count": N, "kernel": ref_dsim.kernel},
+        forest=ref_dsim.forest, owner=ref_dsim.owner, n_ranks=ref_dsim.n_ranks,
+    )
+    state = ref_store.load_latest()
+    reference = ref_dsim.run(
+        M - N, state["phi"], state["mu"], t0=state["time"], step0=N
+    )
+    np.testing.assert_array_equal(result.phi, reference.phi)
+    np.testing.assert_array_equal(result.mu, reference.mu)
 
 
 def test_distributed_chunked_equals_single_run(setup):
