@@ -20,12 +20,20 @@ The registry maps rung names (see package docstring) to implementations.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.parameters import PhaseFieldParameters
 from repro.thermo.system import TernaryEutecticSystem
+
+#: Upper bound on distinct ``(name, shape, dtype)`` scratch buffers one
+#: context keeps alive; least-recently-used entries are evicted beyond
+#: it (moving-window z-shape churn would otherwise grow the cache
+#: without bound).
+SCRATCH_MAX_ENTRIES = 32
 
 
 @dataclass
@@ -69,23 +77,59 @@ class KernelContext:
         self.latent = s._latent
         self.diff = s.diffusivities
         self.t_eut = s.t_eutectic
+        self._scratch: OrderedDict = OrderedDict()
+        self._scratch_owner: int | None = None
 
     @property
     def dim(self) -> int:
         """Spatial dimension."""
         return self.params.dim
 
-    def get_scratch(self, name: str, shape: tuple[int, ...]) -> np.ndarray:
-        """Reusable scratch buffer (the optimized rungs avoid re-allocating
-        temporaries on every sweep, the NumPy analog of keeping values in
-        SIMD registers instead of spilling)."""
-        if not hasattr(self, "_scratch"):
-            self._scratch = {}
-        key = (name, shape)
+    def get_scratch(self, name: str, shape: tuple[int, ...],
+                    dtype=np.float64) -> np.ndarray:
+        """Reusable scratch buffer for kernel temporaries.
+
+        The optimized rungs call this instead of allocating large
+        temporaries on every sweep — the NumPy analog of keeping values
+        in SIMD registers instead of spilling.  Contract:
+
+        * Buffers come back **uninitialized** (they hold whatever the
+          previous user of the same ``(name, shape, dtype)`` left); a
+          caller must fully overwrite or ``fill()`` before reading.
+        * The cache is LRU-bounded at :data:`SCRATCH_MAX_ENTRIES`
+          entries, so the shape churn of a moving-window run (z-window
+          extents shift every step) recycles memory instead of leaking.
+        * A context is **owned by one thread** — the first one that asks
+          for scratch.  Use from a second live thread raises rather than
+          silently corrupting temporaries; build one context per rank
+          (:func:`make_context`) as the distributed solver and the
+          process backend do.  Ownership transfers automatically when
+          the previous owner thread has exited (sequential ``run_spmd``
+          calls reusing one context are fine).
+        """
+        tid = threading.get_ident()
+        owner = self._scratch_owner
+        if owner is None:
+            self._scratch_owner = tid
+        elif owner != tid:
+            live = {t.ident for t in threading.enumerate()}
+            if owner in live:
+                raise RuntimeError(
+                    "KernelContext scratch is single-thread-owned: used "
+                    f"from thread {tid} while owned by live thread "
+                    f"{owner}; build one context per rank/thread with "
+                    "make_context() instead of sharing"
+                )
+            self._scratch_owner = tid
+        key = (name, tuple(shape), np.dtype(dtype).str)
         buf = self._scratch.get(key)
         if buf is None:
-            buf = np.empty(shape)
-            self._scratch[key] = buf
+            if len(self._scratch) >= SCRATCH_MAX_ENTRIES:
+                self._scratch.popitem(last=False)
+            buf = np.empty(shape, dtype=dtype)
+        else:
+            del self._scratch[key]  # re-insert below => most recently used
+        self._scratch[key] = buf
         return buf
 
     def broadcast_slices(self, values: np.ndarray) -> np.ndarray:

@@ -57,11 +57,17 @@ _TOL = 1e-9
 # temperature coefficient precomputation
 # --------------------------------------------------------------------------
 
-def _temp_layout(ctx: KernelContext, t_interior: np.ndarray, spatial, full_field: bool):
-    """Slice temperatures as a broadcastable view or a materialized field."""
+def _temp_layout(ctx: KernelContext, t_interior: np.ndarray, spatial,
+                 full_field: bool, scratch: str = "temp_field"):
+    """Slice temperatures as a broadcastable view or a materialized field.
+
+    *scratch* names the reused buffer of the materialized variant; the mu
+    sweep keeps two temperature fields alive at once (old and new time
+    level), so its two calls must pass distinct names.
+    """
     t = ctx.broadcast_slices(t_interior)
     if full_field:
-        out = np.empty(spatial)
+        out = ctx.get_scratch(scratch, spatial)
         out[...] = t
         return out
     return t
@@ -126,7 +132,8 @@ def _phi_window(
     phi_i = interior(phi_g, dim)
     mu_i = interior(mu_g, dim)
     spatial = phi_i.shape[1:]
-    temp = _temp_layout(ctx, t_g[1:-1], spatial, full_field_t)
+    temp = _temp_layout(ctx, t_g[1:-1], spatial, full_field_t,
+                        scratch="phi_temp")
 
     if buffered:
         div = divergence_term(phi_g, ctx.gamma, dim, dx)
@@ -250,8 +257,15 @@ def phi_step_impl(
 # mu kernel
 # --------------------------------------------------------------------------
 
-def _mobility_face_flux(ctx: KernelContext, mu_src, phi_src, k: int) -> np.ndarray:
-    """``(M grad mu) . e_k`` at the faces along *k* with inline algebra."""
+def _mobility_face_flux(ctx: KernelContext, mu_src, phi_src, k: int,
+                        scratch: str = "mob_flux") -> np.ndarray:
+    """``(M grad mu) . e_k`` at the faces along *k* with inline algebra.
+
+    The accumulator is context scratch (named *scratch*): it is dead as
+    soon as the caller differences it into ``term``, so reuse across the
+    axis loop is safe — except in the unbuffered rung, which keeps the
+    hi- and lo-face results alive together and must pass distinct names.
+    """
     dim, dx = ctx.dim, ctx.params.dx
     n, ks = ctx.n_phases, ctx.n_solutes
     w = np.clip(
@@ -259,7 +273,8 @@ def _mobility_face_flux(ctx: KernelContext, mu_src, phi_src, k: int) -> np.ndarr
     )
     dmu = [face_diff(mu_src[i], dim, k, dx) for i in range(ks)]
     coeff = ctx.inv_curv * ctx.diff[:, None, None]  # (N, k, k)
-    out = np.zeros((ks,) + w.shape[1:])
+    out = ctx.get_scratch(scratch, (ks,) + w.shape[1:])
+    out.fill(0.0)
     for a in range(n):
         for i in range(ks):
             for j in range(ks):
@@ -314,8 +329,10 @@ def mu_step_impl(
     phi_i_new = interior(phi_dst, dim)
     spatial = mu_i.shape[1:]
 
-    temp_old = _temp_layout(ctx, np.asarray(t_old)[1:-1], spatial, full_field_t)
-    temp_new = _temp_layout(ctx, np.asarray(t_new)[1:-1], spatial, full_field_t)
+    temp_old = _temp_layout(ctx, np.asarray(t_old)[1:-1], spatial,
+                            full_field_t, scratch="mu_temp_old")
+    temp_new = _temp_layout(ctx, np.asarray(t_new)[1:-1], spatial,
+                            full_field_t, scratch="mu_temp_new")
 
     sq_new = phi_i_new * phi_i_new
     h_new = sq_new / (sq_new.sum(axis=0) + 1e-300)
@@ -332,8 +349,10 @@ def mu_step_impl(
             lo[ax] = slice(0, -1)
             term = (flux[tuple(hi)] - flux[tuple(lo)]) / dx
         else:
-            flux_hi = _mobility_face_flux(ctx, mu_src, phi_src, k)
-            flux_lo = _mobility_face_flux(ctx, mu_src, phi_src, k)
+            flux_hi = _mobility_face_flux(ctx, mu_src, phi_src, k,
+                                          scratch="mob_flux_hi")
+            flux_lo = _mobility_face_flux(ctx, mu_src, phi_src, k,
+                                          scratch="mob_flux_lo")
             ax = flux_hi.ndim - dim + k
             hi = [slice(None)] * flux_hi.ndim
             lo = [slice(None)] * flux_hi.ndim
@@ -343,7 +362,8 @@ def mu_step_impl(
         div = term if div is None else div + term
 
     # ---- temperature drift source (everywhere) --------------------------
-    dcdT = np.zeros((ctx.n_solutes,) + h_new.shape[1:])
+    dcdT = ctx.get_scratch("mu_dcdT", (ctx.n_solutes,) + h_new.shape[1:])
+    dcdT.fill(0.0)
     for a in range(n):
         for i in range(ctx.n_solutes):
             if ctx.c_slope[a][i] != 0.0:
@@ -383,11 +403,13 @@ def mu_step_impl(
         h_n = sq_n / (sq_n.sum(axis=0) + 1e-300)
         t_w = ctx.broadcast_slices(t_old_w[1:-1])
         if full_field_t:
-            t_field = np.empty(phi_w_old.shape[1:])
+            t_field = ctx.get_scratch("mu_t_window", phi_w_old.shape[1:])
             t_field[...] = t_w
             t_w = t_field
         cmin = _cmin_all(ctx, t_w)  # (N, K-1) + win
-        src = np.zeros((ctx.n_solutes,) + phi_w_old.shape[1:])
+        src = ctx.get_scratch("mu_phase_src",
+                              (ctx.n_solutes,) + phi_w_old.shape[1:])
+        src.fill(0.0)
         for a in range(n):
             dh = h_n[a] - h_o[a]
             inv = ctx.inv_curv[a]

@@ -8,6 +8,12 @@ dimensional-ordering trick, required because the mu sweep reads the D3C19
 
 At non-periodic domain edges the axis has no neighbour; the caller's
 boundary handler fills those ghosts instead.
+
+Both routines post every receive *before* the matching sends (Algorithm
+2's discipline).  The thread backend would tolerate any ordering because
+its mailboxes buffer unboundedly, but the process backend bounds
+in-flight payloads per channel, and there posting receives first is what
+guarantees progress (see :mod:`repro.simmpi.transport`).
 """
 
 from __future__ import annotations
@@ -109,21 +115,30 @@ def exchange_ghosts(
         lo_rank, hi_rank = cart.shift(k, 1)  # (source=low side, dest=high side)
         tag_lo = tag_base + 2 * k
         tag_hi = tag_base + 2 * k + 1
+        # Post receives BEFORE sending (Algorithm 2 discipline).  The
+        # thread backend buffers unboundedly so ordering is cosmetic
+        # there, but under the process backend's bounded channels a
+        # blocked sender only makes progress by completing the *peer's*
+        # posted receives — send-first would genuinely deadlock once a
+        # slab exceeds the channel capacity.
         reqs = []
-        if hi_rank is not None:
-            payload = np.ascontiguousarray(arr[_slab(arr, dim, k, "send_hi")])
-            comm.send(payload, hi_rank, tag=tag_hi)
-            nbytes += payload.nbytes
-            nmsg += 1
-        if lo_rank is not None:
-            payload = np.ascontiguousarray(arr[_slab(arr, dim, k, "send_lo")])
-            comm.send(payload, lo_rank, tag=tag_lo)
-            nbytes += payload.nbytes
-            nmsg += 1
         if lo_rank is not None:
             reqs.append(("recv_lo", comm.irecv(lo_rank, tag=tag_hi)))
         if hi_rank is not None:
             reqs.append(("recv_hi", comm.irecv(hi_rank, tag=tag_lo)))
+        # Send the (possibly strided) slab views directly: both backends
+        # snapshot the payload at send time, so an extra
+        # ascontiguousarray here would just double the copies.
+        if hi_rank is not None:
+            payload = arr[_slab(arr, dim, k, "send_hi")]
+            comm.send(payload, hi_rank, tag=tag_hi)
+            nbytes += payload.nbytes
+            nmsg += 1
+        if lo_rank is not None:
+            payload = arr[_slab(arr, dim, k, "send_lo")]
+            comm.send(payload, lo_rank, tag=tag_lo)
+            nbytes += payload.nbytes
+            nmsg += 1
         for which, req in reqs:
             arr[_slab(arr, dim, k, which)] = req.wait()
         # non-periodic domain edges: boundary handlers
@@ -165,7 +180,24 @@ def exchange_block_ghosts(
     nmsg = 0
     rank = comm.rank
     for k in range(dim):
-        # 1) post all remote sends for this axis
+        # 1) post all remote receives for this axis first — required for
+        #    deadlock freedom under the process backend's bounded
+        #    channels (a blocked sender completes the peer's posted
+        #    receives while waiting for a free slot).
+        reqs = []
+        for bid, arr in arrays.items():
+            block = forest.blocks[bid]
+            for side, recv_which in ((0, "recv_lo"), (1, "recv_hi")):
+                nb = forest.neighbor(block, k, side)
+                if nb is None or _owner_of(owner, nb.id) == rank:
+                    continue
+                tag = tag_base + (bid * dim + k) * 2 + side
+                reqs.append((
+                    arr, recv_which,
+                    comm.irecv(_owner_of(owner, nb.id), tag=tag),
+                ))
+        # 2) post all remote sends (slab views; both backends snapshot
+        #    at send time, so no ascontiguousarray copy is needed)
         for bid, arr in arrays.items():
             block = forest.blocks[bid]
             for side, send_which, dest_side in (
@@ -178,14 +210,12 @@ def exchange_block_ghosts(
                 dest_rank = _owner_of(owner, nb.id)
                 if dest_rank == rank:
                     continue  # handled by the local-copy pass
-                payload = np.ascontiguousarray(
-                    arr[_slab(arr, dim, k, send_which)]
-                )
+                payload = arr[_slab(arr, dim, k, send_which)]
                 tag = tag_base + (nb.id * dim + k) * 2 + dest_side
                 comm.send(payload, dest_rank, tag=tag)
                 nbytes += payload.nbytes
                 nmsg += 1
-        # 2) local copies between same-rank neighbours
+        # 3) local copies between same-rank neighbours
         for bid, arr in arrays.items():
             block = forest.blocks[bid]
             for side, recv_which in ((0, "recv_lo"), (1, "recv_hi")):
@@ -197,18 +227,10 @@ def exchange_block_ghosts(
                 arr[_slab(arr, dim, k, recv_which)] = src[
                     _slab(src, dim, k, send_which)
                 ]
-        # 3) receive all remote ghosts for this axis
-        for bid, arr in arrays.items():
-            block = forest.blocks[bid]
-            for side, recv_which in ((0, "recv_lo"), (1, "recv_hi")):
-                nb = forest.neighbor(block, k, side)
-                if nb is None or _owner_of(owner, nb.id) == rank:
-                    continue
-                tag = tag_base + (bid * dim + k) * 2 + side
-                arr[_slab(arr, dim, k, recv_which)] = comm.recv(
-                    _owner_of(owner, nb.id), tag=tag
-                )
-        # 4) boundary handlers at non-periodic domain edges
+        # 4) complete the posted receives for this axis
+        for arr, recv_which, req in reqs:
+            arr[_slab(arr, dim, k, recv_which)] = req.wait()
+        # 5) boundary handlers at non-periodic domain edges
         lo_h, hi_h = spec.handlers[k]
         for bid, arr in arrays.items():
             block = forest.blocks[bid]

@@ -105,6 +105,12 @@ class DistributedSimulation:
         mu sweep, i.e. any optimized rung).
     overlap:
         Use the Algorithm 2 communication-hiding schedule.
+    backend:
+        simmpi execution substrate for the SPMD region: ``"thread"``
+        (default — deterministic, GIL-serialized) or ``"process"`` (one
+        OS process per rank, field buffers in shared memory, kernels
+        genuinely parallel).  Results are bitwise identical between the
+        two: per-block arithmetic does not depend on where a rank runs.
     """
 
     def __init__(
@@ -120,6 +126,7 @@ class DistributedSimulation:
         mu_bc: BoundarySpec | None = None,
         n_ranks: int | None = None,
         balance_strategy: str = "contiguous",
+        backend: str = "thread",
     ):
         self.shape = tuple(shape)
         self.dim = len(shape)
@@ -136,6 +143,7 @@ class DistributedSimulation:
             )
         self.kernel = kernel
         self.overlap = overlap
+        self.backend = backend
         periodicity = tuple([True] * (self.dim - 1) + [False])
         self.forest = BlockForest(self.shape, tuple(blocks_per_axis), periodicity)
         self.n_ranks = self.forest.n_blocks if n_ranks is None else int(n_ranks)
@@ -191,6 +199,7 @@ class DistributedSimulation:
             mu_bc=self.mu_bc,
             n_ranks=n_ranks,
             balance_strategy=self.balance_strategy,
+            backend=self.backend,
         )
 
     def topology(self) -> dict:
@@ -262,6 +271,7 @@ class DistributedSimulation:
             t0=t0, step0=step0, fault_plan=fault_plan, guard=guard,
             telemetry=telemetry, shard_store=shard_store,
             checkpoint_every=checkpoint_every,
+            backend=self.backend,
         )
         wall = _time.perf_counter() - wall0
 
@@ -332,6 +342,7 @@ class DistributedSimulation:
                 "n_ranks": self.n_ranks,
                 "kernel": self.kernel,
                 "overlap": self.overlap,
+                "backend": self.backend,
                 "guard": guard,
                 "dt": self.params.dt,
             },
@@ -477,12 +488,20 @@ class DistributedSimulation:
             pieces = None
         mine = comm.scatter(pieces, root=0)
 
+        # Under the process backend this places the double buffers in
+        # shared memory, so ghost slabs between co-resident ranks move
+        # by memcpy; thread ranks get None (plain heap arrays).
+        allocator = (
+            comm.field_allocator() if hasattr(comm, "field_allocator")
+            else None
+        )
+
         phi_fields: dict[int, Field] = {}
         mu_fields: dict[int, Field] = {}
         for b in owned:
             phi_loc, mu_loc = mine[b.id]
-            pf = Field(self.system.n_phases, b.shape)
-            mf = Field(self.system.n_solutes, b.shape)
+            pf = Field(self.system.n_phases, b.shape, allocator=allocator)
+            mf = Field(self.system.n_solutes, b.shape, allocator=allocator)
             pf.set_interior(phi_loc, "src")
             mf.set_interior(mu_loc, "src")
             phi_fields[b.id] = pf

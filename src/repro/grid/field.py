@@ -24,6 +24,13 @@ class Field:
     dtype:
         Storage dtype; computations run in float64, checkpoints may
         down-convert (Sec. 3.2).
+    allocator:
+        Optional ``allocator(shape, dtype) -> ndarray`` placing the two
+        buffers in special memory.  The simmpi process backend passes a
+        ``multiprocessing.shared_memory`` allocator here (via
+        ``Communicator.field_allocator()``) so ghost slabs move between
+        co-resident ranks by memcpy.  ``None`` means plain heap arrays.
+        Buffers are zeroed either way.
     """
 
     def __init__(
@@ -32,6 +39,7 @@ class Field:
         spatial_shape: tuple[int, ...],
         ghost: int = 1,
         dtype=np.float64,
+        allocator=None,
     ):
         if n_components < 1:
             raise ValueError("need at least one component")
@@ -41,8 +49,15 @@ class Field:
         self.spatial_shape = tuple(spatial_shape)
         self.ghost = ghost
         gshape = tuple(s + 2 * ghost for s in spatial_shape)
-        self.src = np.zeros((n_components,) + gshape, dtype=dtype)
-        self.dst = np.zeros((n_components,) + gshape, dtype=dtype)
+        full = (n_components,) + gshape
+        if allocator is None:
+            self.src = np.zeros(full, dtype=dtype)
+            self.dst = np.zeros(full, dtype=dtype)
+        else:
+            self.src = allocator(full, dtype)
+            self.dst = allocator(full, dtype)
+            self.src.fill(0)
+            self.dst.fill(0)
 
     @property
     def dim(self) -> int:

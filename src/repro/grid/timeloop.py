@@ -49,9 +49,12 @@ class FunctorError(RuntimeError):
 class Functor:
     """One named step of the loop with accumulated timing.
 
-    Time spent in a failing invocation is still accumulated (``calls``
-    only counts completed ones), so a timing report taken after a crash
-    reflects the partially-completed step.
+    Every invocation — including one that raises — updates *all* the
+    accumulators together (``calls``, ``seconds`` and the extrema), so
+    ``seconds / calls`` read from a timing report after a crash is a true
+    per-invocation average.  (An earlier version accumulated ``seconds``
+    for failing invocations but bumped ``calls`` only on success, which
+    silently inflated averages whenever the guard/rollback path raised.)
 
     The accumulator fields (``calls``, ``seconds``, ``min_seconds``,
     ``max_seconds``) are implementation details — read timings through
@@ -73,13 +76,16 @@ class Functor:
         try:
             self.fn()
         finally:
+            # Stats update is atomic with the measurement: a raising
+            # invocation is timed AND counted, keeping avg/min/max
+            # consistent with the accumulated total.
             dt = time.perf_counter() - t0
             self.seconds += dt
-        self.calls += 1
-        if dt < self.min_seconds:
-            self.min_seconds = dt
-        if dt > self.max_seconds:
-            self.max_seconds = dt
+            self.calls += 1
+            if dt < self.min_seconds:
+                self.min_seconds = dt
+            if dt > self.max_seconds:
+                self.max_seconds = dt
         return dt
 
     def reset(self) -> None:

@@ -2,12 +2,18 @@
 
 The paper runs on up to 1,048,576 MPI processes; this environment has no
 MPI implementation, so the repo ships a small message-passing runtime
-instead (see DESIGN.md, substitution table).  Each simulated rank is a
-Python thread executing the same SPMD function; communication goes through
-per-rank mailboxes with (source, tag) matching, and the collectives are
-built from point-to-point messages using binomial trees — so the
-*algorithms* (ghost exchange, Algorithm 2 overlap, hierarchical mesh
-reduction) run unmodified and are exercised end-to-end.
+instead (see DESIGN.md, substitution table).  Each simulated rank runs the
+same SPMD function; communication goes through per-rank mailboxes with
+(source, tag) matching, and the collectives are built from point-to-point
+messages using binomial trees — so the *algorithms* (ghost exchange,
+Algorithm 2 overlap, hierarchical mesh reduction) run unmodified and are
+exercised end-to-end.
+
+Two backends share the Communicator semantics: ``backend="thread"``
+(default — one thread per rank; deterministic, GIL-serialized) and
+``backend="process"`` (one OS process per rank with shared-memory payload
+transport, :mod:`repro.simmpi.transport` — kernels genuinely run in
+parallel, which is what turns Fig. 7 into a measured curve).
 
 Main entry points:
 
@@ -26,7 +32,10 @@ from repro.simmpi.comm import Communicator, RankFailure, RemoteError, Request
 from repro.simmpi.runtime import run_spmd, run_spmd_elastic
 from repro.simmpi.cart import CartComm
 
+BACKENDS = ("thread", "process")
+
 __all__ = [
+    "BACKENDS",
     "Communicator",
     "RankFailure",
     "RemoteError",

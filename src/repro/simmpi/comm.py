@@ -370,6 +370,20 @@ class Communicator:
         """This rank's message accounting."""
         return self._world.stats[self.rank]
 
+    # -- memory placement ----------------------------------------------------
+
+    def field_allocator(self):
+        """Array allocator for rank-local field buffers, or ``None``.
+
+        Thread ranks already share one address space, so plain heap
+        NumPy arrays are the right placement and this returns ``None``.
+        The process backend overrides it with a shared-memory allocator
+        (see :meth:`repro.simmpi.transport.ProcessCommunicator.
+        field_allocator`) so ghost exchange between co-resident ranks is
+        a memcpy instead of a pickle round-trip.
+        """
+        return None
+
 
 def _add(a, b):
     return a + b

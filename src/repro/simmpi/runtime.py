@@ -1,15 +1,26 @@
 """SPMD launcher for the simulated MPI runtime.
 
-:func:`run_spmd` plays the role of ``mpiexec``: it spawns one thread per
+:func:`run_spmd` plays the role of ``mpiexec``: it spawns one worker per
 rank, hands each a :class:`Communicator`, runs the same function
 everywhere and collects the per-rank return values.  A failure on any rank
 sets a world-wide flag so peers blocked in communication abort instead of
 deadlocking, and the first exception is re-raised in the caller.
+
+Two execution backends share these semantics:
+
+* ``"thread"`` (default) — one thread per rank, unbounded in-process
+  mailboxes.  Deterministic, debuggable, zero startup cost; kernels
+  serialize on the GIL, so it models but does not measure speedup.
+* ``"process"`` — one OS process per rank with shared-memory payload
+  transport (:mod:`repro.simmpi.transport`).  Kernels genuinely run in
+  parallel; channels are bounded, so exchanges must post receives
+  before sending (the repo's exchange routines do).
 """
 
 from __future__ import annotations
 
 import logging
+import os
 import threading
 
 from repro.simmpi.comm import Communicator, RemoteError, _World
@@ -19,16 +30,32 @@ __all__ = ["run_spmd", "run_spmd_elastic", "run_spmd_resilient"]
 logger = logging.getLogger(__name__)
 
 
-def run_spmd(n_ranks: int, fn, *args, **kwargs) -> list:
+def run_spmd(n_ranks: int, fn, *args, backend: str | None = None,
+             **kwargs) -> list:
     """Run ``fn(comm, *args, **kwargs)`` on *n_ranks* simulated ranks.
 
     Returns the list of per-rank return values (rank order).  Exceptions
     raised by any rank abort the whole run and are re-raised (peers'
     secondary :class:`RemoteError` aborts are suppressed).  The re-raised
     exception carries the failing rank as a ``simmpi_rank`` attribute.
+
+    *backend* selects the execution substrate: ``"thread"`` (default) or
+    ``"process"`` (see the module docstring for the trade-off).  When
+    ``None``, the ``REPRO_SIMMPI_BACKEND`` environment variable decides,
+    defaulting to ``"thread"``.
     """
     if n_ranks < 1:
         raise ValueError("need at least one rank")
+    if backend is None:
+        backend = os.environ.get("REPRO_SIMMPI_BACKEND", "thread")
+    if backend == "process":
+        from repro.simmpi.transport import run_spmd_processes
+
+        return run_spmd_processes(n_ranks, fn, args, kwargs)
+    if backend != "thread":
+        raise ValueError(
+            f"unknown simmpi backend {backend!r}; use 'thread' or 'process'"
+        )
     world = _World(n_ranks)
     results: list = [None] * n_ranks
     errors: list = [None] * n_ranks

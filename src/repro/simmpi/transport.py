@@ -1,0 +1,676 @@
+"""Process backend for the simulated MPI runtime.
+
+Threads share one GIL, so the thread backend of :mod:`repro.simmpi` can
+*model* — but never *measure* — intranode parallel speedup.  This module
+provides the measured path: one OS process per rank, tiny control
+messages over per-pair pipes, and bulk array payloads staged through
+POSIX shared memory (:mod:`multiprocessing.shared_memory`), so a
+ghost-slab transfer between co-resident ranks is two ``memcpy`` calls
+instead of a pickle round-trip through a pipe.  The same mechanism backs
+:class:`~repro.grid.field.Field` buffers via
+:meth:`ProcessCommunicator.field_allocator`.
+
+Semantics mirror the thread backend's :class:`~repro.simmpi.comm.
+Communicator`: ``(source, tag)`` matching with ``ANY_SOURCE`` /
+``ANY_TAG`` wildcards, FIFO ordering per sender/receiver pair, the same
+binomial-tree collectives (inherited — they are built purely on
+``send``/``recv``), and world-abort failure propagation with
+``simmpi_rank`` annotation on the re-raised exception.
+
+The one deliberate difference is **bounded buffering**: each ordered
+rank pair allows :data:`CHANNEL_SLOTS` in-flight shared-memory payloads;
+a sender that exhausts them blocks, *making progress on its own incoming
+traffic* (acks, plus messages completing posted receives) while it
+waits.  That is the eager/rendezvous protocol of a real MPI: symmetric
+bulk exchanges are only guaranteed deadlock-free when receives are
+posted before sends, which is exactly Algorithm 2's
+post-receives-first discipline (and what
+:mod:`repro.distributed.exchange` does).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pickle
+import time
+import traceback
+from multiprocessing import connection as _mpc
+
+import numpy as np
+
+from repro.simmpi.comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    CommStats,
+    Communicator,
+    RemoteError,
+    _copy_payload,
+)
+
+__all__ = [
+    "CHANNEL_SLOTS",
+    "INLINE_MAX",
+    "ProcessCommunicator",
+    "ProcessRequest",
+    "RankTransport",
+    "run_spmd_processes",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Array/pickle payloads at or above this byte size go through shared
+#: memory; smaller ones ride inline in the control pipe.  Small enough
+#: that inline messages can never fill an OS pipe buffer (64 KiB on
+#: Linux) before the control tuple of a staged payload gets through.
+INLINE_MAX = int(os.environ.get("REPRO_SIMMPI_INLINE_MAX", 8192))
+
+#: In-flight shared-memory payloads allowed per ordered rank pair
+#: before the sender blocks (the "eager limit").
+CHANNEL_SLOTS = int(os.environ.get("REPRO_SIMMPI_CHANNEL_SLOTS", 4))
+
+#: Seconds between failure-flag checks while blocked.
+_POLL = 0.05
+
+#: Parent-side grace period before surviving children are terminated.
+_JOIN_GRACE = 30.0
+
+
+def _matches(want_source: int, want_tag: int, source: int, tag: int) -> bool:
+    return (want_source in (ANY_SOURCE, source)
+            and want_tag in (ANY_TAG, tag))
+
+
+class _PostedRecv:
+    """A pre-announced receive (``MPI_Irecv`` style).
+
+    The transport completes posted receives *during send-side blocking*
+    as well as in ``recv``/``wait`` — that asymmetry is what makes
+    post-receives-first exchanges deadlock-free under bounded channels.
+    """
+
+    __slots__ = ("source", "tag", "done", "payload")
+
+    def __init__(self, source: int, tag: int) -> None:
+        self.source = source
+        self.tag = tag
+        self.done = False
+        self.payload = None
+
+
+class ProcessRequest:
+    """Request handle of the process backend (mirrors :class:`Request`)."""
+
+    def __init__(self, transport: "RankTransport", posted: _PostedRecv):
+        self._transport = transport
+        self._posted = posted
+
+    def wait(self):
+        """Complete the receive; returns the payload."""
+        return self._transport.complete(self._posted)
+
+    def test(self) -> bool:
+        """Non-destructive readiness check."""
+        self._transport.progress(block=False)
+        return self._posted.done
+
+
+class RankTransport:
+    """Per-rank message engine: pipes for control, shared memory for bulk.
+
+    Single-threaded by design — each rank is one process running one
+    thread, so no locking is needed anywhere.  Wire format (tuples over
+    ``multiprocessing.Pipe``):
+
+    ``("inl", source, tag, payload)``
+        Small array, pickled by the pipe itself (snapshot at send time).
+    ``("inlb", source, tag, bytes)``
+        Small non-array object, pre-pickled.
+    ``("shm", source, tag, seq, segname, shape, dtypestr)``
+        Large array staged raw into a shared-memory segment.
+    ``("shb", source, tag, seq, segname, nbytes)``
+        Large non-array object, pickled into a segment.
+    ``("ack", seq)``
+        Receiver consumed segment *seq*; the sender may reuse it.
+    """
+
+    def __init__(self, rank: int, size: int, readers: dict, writers: dict,
+                 failed, barrier) -> None:
+        self.rank = rank
+        self.size = size
+        self._readers = dict(readers)   # source rank -> read Connection
+        self._writers = dict(writers)   # dest rank -> write Connection
+        self._failed = failed           # mp.Event: world abort flag
+        self._barrier = barrier         # mp.Barrier over all ranks
+        self.stats = CommStats()
+        self._held: list[tuple] = []            # arrived, not yet matched
+        self._posted: list[_PostedRecv] = []    # posted, not yet arrived
+        self._seq = 0
+        self._outstanding: dict[int, tuple[int, object]] = {}  # seq -> (dest, seg)
+        self._out_count: dict[int, int] = {}    # dest -> staged in flight
+        self._free: dict[int, list] = {}        # dest -> reusable segments
+        self._attached: dict[str, object] = {}  # segname -> SharedMemory
+        self._field_segments: list = []         # owned Field backing segments
+        self._closed = False
+
+    # -- sending -------------------------------------------------------------
+
+    def send(self, obj, dest: int, tag: int) -> None:
+        """Send with thread-backend semantics: payload snapshot at call time."""
+        if not 0 <= dest < self.size:
+            raise ValueError(f"invalid destination rank {dest}")
+        self.stats.account_send(obj)
+        if dest == self.rank:
+            # Self-send: deliver through the normal dispatch path so it
+            # can complete a posted receive or join the held list.
+            self._dispatch(("inl", self.rank, tag, _copy_payload(obj)))
+            return
+        if isinstance(obj, np.ndarray) and not obj.dtype.hasobject:
+            if obj.nbytes >= INLINE_MAX:
+                seq, seg = self._stage(dest, obj.nbytes)
+                view = np.ndarray(obj.shape, dtype=obj.dtype, buffer=seg.buf)
+                np.copyto(view, obj)
+                self._post(dest, ("shm", self.rank, tag, seq, seg.name,
+                                  obj.shape, obj.dtype.str))
+            else:
+                # Connection.send pickles immediately => snapshot.
+                self._post(dest, ("inl", self.rank, tag, obj))
+            return
+        buf = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        if len(buf) >= INLINE_MAX:
+            seq, seg = self._stage(dest, len(buf))
+            seg.buf[:len(buf)] = buf
+            self._post(dest, ("shb", self.rank, tag, seq, seg.name, len(buf)))
+        else:
+            self._post(dest, ("inlb", self.rank, tag, buf))
+
+    def _post(self, dest: int, msg: tuple) -> None:
+        try:
+            self._writers[dest].send(msg)
+        except (BrokenPipeError, OSError):
+            # Peer process is gone; surface as a secondary failure so the
+            # launcher's primary-error selection stays meaningful.
+            self._check_failed()
+            raise RemoteError(f"rank {dest} is unreachable") from None
+
+    def _stage(self, dest: int, nbytes: int):
+        """Claim a channel slot + segment towards *dest* (may block)."""
+        from multiprocessing import shared_memory
+
+        while self._out_count.get(dest, 0) >= CHANNEL_SLOTS:
+            self._check_failed()
+            self.progress(block=True)   # drain acks / complete posted recvs
+        seg = None
+        free = self._free.setdefault(dest, [])
+        for i, cand in enumerate(free):
+            if cand.size >= nbytes:
+                seg = free.pop(i)
+                break
+        if seg is None:
+            seg = shared_memory.SharedMemory(create=True,
+                                             size=max(int(nbytes), 1))
+        self._seq += 1
+        self._outstanding[self._seq] = (dest, seg)
+        self._out_count[dest] = self._out_count.get(dest, 0) + 1
+        return self._seq, seg
+
+    # -- receiving -----------------------------------------------------------
+
+    def recv(self, source: int, tag: int):
+        """Blocking receive; returns the payload."""
+        msg = self._take_held(source, tag)
+        if msg is not None:
+            self.stats.recvs += 1
+            return self._fetch(msg)
+        posted = _PostedRecv(source, tag)
+        self._posted.append(posted)
+        return self.complete(posted)
+
+    def irecv(self, source: int, tag: int) -> ProcessRequest:
+        """Eagerly posted receive (unlike the thread backend's lazy one).
+
+        Posting up front is load-bearing here: a sender blocked on a full
+        channel completes the receiver's posted receives, so exchanges
+        that post receives before sending cannot deadlock.
+        """
+        posted = _PostedRecv(source, tag)
+        msg = self._take_held(source, tag)
+        if msg is not None:
+            posted.payload = self._fetch(msg)
+            posted.done = True
+            self.stats.recvs += 1
+        else:
+            self._posted.append(posted)
+        return ProcessRequest(self, posted)
+
+    def complete(self, posted: _PostedRecv):
+        """Drive progress until *posted* is done; returns its payload."""
+        while not posted.done:
+            self.progress(block=False)
+            if posted.done:
+                break
+            self._check_failed()
+            self.progress(block=True)
+        return posted.payload
+
+    def probe(self, source: int, tag: int) -> bool:
+        self.progress(block=False)
+        return any(_matches(source, tag, m[1], m[2]) for m in self._held)
+
+    def _take_held(self, source: int, tag: int):
+        for i, msg in enumerate(self._held):
+            if _matches(source, tag, msg[1], msg[2]):
+                return self._held.pop(i)
+        return None
+
+    # -- progress engine -----------------------------------------------------
+
+    def progress(self, block: bool) -> None:
+        """Drain every readable control pipe, dispatching each message."""
+        if not self._readers:
+            if block:
+                time.sleep(_POLL)
+            return
+        try:
+            ready = _mpc.wait(list(self._readers.values()),
+                              timeout=_POLL if block else 0)
+        except OSError:
+            ready = []
+        for conn in ready:
+            while True:
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    src = next((s for s, c in self._readers.items()
+                                if c is conn), None)
+                    if src is not None:
+                        del self._readers[src]
+                    if not self._failed.is_set():
+                        raise RemoteError(
+                            f"rank {src} closed its channel unexpectedly"
+                        ) from None
+                    break
+                self._dispatch(msg)
+                if not conn.poll():
+                    break
+
+    def _dispatch(self, msg: tuple) -> None:
+        kind = msg[0]
+        if kind == "ack":
+            dest, seg = self._outstanding.pop(msg[1])
+            self._out_count[dest] -= 1
+            free = self._free.setdefault(dest, [])
+            free.append(seg)
+            if len(free) > CHANNEL_SLOTS:     # bound the per-dest freelist
+                free.sort(key=lambda s: s.size)
+                self._release(free.pop(0))
+            return
+        source, tag = msg[1], msg[2]
+        for posted in self._posted:
+            if not posted.done and _matches(posted.source, posted.tag,
+                                            source, tag):
+                posted.payload = self._fetch(msg)
+                posted.done = True
+                self._posted.remove(posted)
+                self.stats.recvs += 1
+                return
+        self._held.append(msg)
+
+    def _fetch(self, msg: tuple):
+        """Materialize a payload; ack staged segments back to the sender."""
+        kind = msg[0]
+        if kind == "inl":
+            return msg[3]
+        if kind == "inlb":
+            return pickle.loads(msg[3])
+        if kind == "shm":
+            _, source, _tag, seq, name, shape, dtypestr = msg
+            shm = self._attach(name)
+            payload = np.ndarray(shape, dtype=np.dtype(dtypestr),
+                                 buffer=shm.buf).copy()
+        else:  # "shb"
+            _, source, _tag, seq, name, nbytes = msg
+            shm = self._attach(name)
+            payload = pickle.loads(bytes(shm.buf[:nbytes]))
+        self._post(source, ("ack", seq))
+        return payload
+
+    def _attach(self, name: str):
+        from multiprocessing import shared_memory
+
+        shm = self._attached.get(name)
+        if shm is None:
+            try:
+                shm = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                # Only possible when the owning sender died mid-teardown
+                # and its segments were reclaimed: report as a secondary
+                # failure, never as the run's primary error.
+                self._check_failed()
+                raise RemoteError(
+                    f"shared segment {name} vanished (sender died?)"
+                ) from None
+            # Python 3.11 registers attached segments with the resource
+            # tracker as if this process owned them; undo that, or the
+            # tracker double-unlinks and warns at interpreter shutdown.
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+            self._attached[name] = shm
+        return shm
+
+    def _check_failed(self) -> None:
+        if self._failed.is_set():
+            raise RemoteError("a peer rank failed while this rank waited")
+
+    # -- synchronization -----------------------------------------------------
+
+    def barrier_wait(self) -> None:
+        import threading
+
+        try:
+            self._barrier.wait()
+        except threading.BrokenBarrierError:
+            raise RemoteError("barrier broken by a failed peer") from None
+
+    # -- shared-memory field allocation --------------------------------------
+
+    def alloc_shared_array(self, shape, dtype=np.float64) -> np.ndarray:
+        """Zero-filled array backed by an owned shared-memory segment.
+
+        Used as the :class:`~repro.grid.field.Field` allocator so rank
+        field buffers live in shared memory; segments are unlinked when
+        the transport closes (rank function returned or died).
+        """
+        from multiprocessing import shared_memory
+
+        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        seg = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+        self._field_segments.append(seg)
+        arr = np.ndarray(tuple(shape), dtype=dtype, buffer=seg.buf)
+        arr.fill(0)
+        return arr
+
+    # -- teardown ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every owned segment and detach from attached ones.
+
+        Staged payloads the peers have not consumed yet are drained
+        first (bounded wait for their acks, ``MPI_Finalize`` style) so a
+        rank that sends and returns immediately cannot unlink a segment
+        before the receiver attached to it.  On a failed world the wait
+        is skipped — peers are going down anyway and their attach errors
+        surface as suppressed secondary failures.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        deadline = time.monotonic() + _JOIN_GRACE / 2
+        while (self._outstanding and not self._failed.is_set()
+               and time.monotonic() < deadline):
+            try:
+                self.progress(block=True)
+            except RemoteError:
+                break
+        for _dest, seg in self._outstanding.values():
+            self._release(seg)
+        for free in self._free.values():
+            for seg in free:
+                self._release(seg)
+        for seg in self._field_segments:
+            self._release(seg)
+        for shm in self._attached.values():
+            try:
+                shm.close()
+            except (BufferError, OSError):
+                pass
+
+    @staticmethod
+    def _release(seg) -> None:
+        try:
+            seg.close()
+        except BufferError:
+            # A live numpy view still references the buffer (e.g. a Field
+            # the rank function returned); unlinking is still safe — the
+            # mapping survives until the process exits.
+            pass
+        try:
+            seg.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+class ProcessCommunicator(Communicator):
+    """Rank-local communicator of the process backend.
+
+    Point-to-point, probe and barrier delegate to the
+    :class:`RankTransport`; ``isend``/``sendrecv`` and the binomial-tree
+    collectives are inherited from :class:`Communicator` — they are
+    written purely in terms of ``self.send`` / ``self.recv``, so the
+    algorithms run identically on both backends.
+    """
+
+    def __init__(self, transport: RankTransport):
+        self._transport = transport
+        self.rank = transport.rank
+        self.size = transport.size
+
+    def send(self, obj, dest: int, tag: int = 0) -> None:
+        self._transport.send(obj, dest, tag)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        return self._transport.recv(source, tag)
+
+    def irecv(self, source: int = ANY_SOURCE,
+              tag: int = ANY_TAG) -> ProcessRequest:
+        return self._transport.irecv(source, tag)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        return self._transport.probe(source, tag)
+
+    def barrier(self) -> None:
+        self._transport.barrier_wait()
+
+    def failed_ranks(self) -> tuple:
+        return ()
+
+    def shrink(self) -> "Communicator":
+        raise NotImplementedError(
+            "elastic shrink is a thread-backend feature; the process "
+            "backend uses whole-world abort (run_spmd semantics)"
+        )
+
+    @property
+    def stats(self) -> CommStats:
+        return self._transport.stats
+
+    def field_allocator(self):
+        """Shared-memory array allocator for rank-local Field buffers."""
+        return self._transport.alloc_shared_array
+
+
+# -- launcher ----------------------------------------------------------------
+
+
+def _transportable(exc: BaseException, rank: int) -> BaseException:
+    """Make *exc* safe to ship to the parent, keeping its type if possible."""
+    try:
+        exc.simmpi_rank = rank
+    except Exception:
+        pass
+    try:
+        if pickle.loads(pickle.dumps(exc)) is not None:
+            return exc
+    except Exception:
+        pass
+    text = "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__)
+    )
+    wrapped = RuntimeError(
+        f"rank {rank} raised unpicklable {type(exc).__name__}: {exc}\n{text}"
+    )
+    wrapped.simmpi_rank = rank
+    return wrapped
+
+
+def _child_entry(rank, size, fn, args, kwargs, readers, writers,
+                 failed, barrier, result_conn) -> None:
+    """Per-rank process body: run *fn*, report result or failure."""
+    transport = RankTransport(rank, size, readers, writers, failed, barrier)
+    comm = ProcessCommunicator(transport)
+    try:
+        result = fn(comm, *args, **kwargs)
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        failed.set()
+        try:
+            barrier.abort()
+        except Exception:
+            pass
+        if not isinstance(exc, RemoteError):
+            logger.error("rank %d failed: %r", rank, exc)
+        try:
+            result_conn.send(("err", rank, _transportable(exc, rank)))
+        except Exception:
+            pass
+    else:
+        try:
+            result_conn.send(("ok", rank, result))
+        except Exception as exc:  # unpicklable/oversized result
+            failed.set()
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+            try:
+                result_conn.send(("err", rank, _transportable(exc, rank)))
+            except Exception:
+                pass
+    finally:
+        transport.close()
+        result_conn.close()
+
+
+def run_spmd_processes(n_ranks: int, fn, args: tuple = (),
+                       kwargs: dict | None = None) -> list:
+    """Run ``fn(comm, *args, **kwargs)`` on *n_ranks* OS processes.
+
+    The process-backend twin of the thread launcher in
+    :func:`repro.simmpi.runtime.run_spmd`, with identical result and
+    error semantics: per-rank return values in rank order, first
+    non-:class:`RemoteError` exception re-raised with ``simmpi_rank``
+    set, secondary aborts suppressed.  Prefers the ``fork`` start method
+    (no pickling of *fn* or its closure) and falls back to ``spawn``
+    where fork is unavailable, in which case *fn*, *args* and *kwargs*
+    must be picklable.
+    """
+    import multiprocessing as mp
+
+    kwargs = {} if kwargs is None else kwargs
+    method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    ctx = mp.get_context(method)
+    failed = ctx.Event()
+    barrier = ctx.Barrier(n_ranks)
+
+    # One one-way control pipe per ordered rank pair: readers[j][i] is
+    # rank j's read end of the i -> j channel.
+    readers: list[dict] = [{} for _ in range(n_ranks)]
+    writers: list[dict] = [{} for _ in range(n_ranks)]
+    for i in range(n_ranks):
+        for j in range(n_ranks):
+            if i == j:
+                continue
+            r, w = ctx.Pipe(duplex=False)
+            readers[j][i] = r
+            writers[i][j] = w
+
+    procs = []
+    result_conns = []
+    for rank in range(n_ranks):
+        res_r, res_w = ctx.Pipe(duplex=False)
+        result_conns.append(res_r)
+        proc = ctx.Process(
+            target=_child_entry,
+            args=(rank, n_ranks, fn, args, kwargs,
+                  readers[rank], writers[rank], failed, barrier, res_w),
+            name=f"simmpi-rank-{rank}",
+            daemon=True,
+        )
+        procs.append((proc, res_w))
+    for proc, _ in procs:
+        proc.start()
+    # Drop the parent's copies of channel/result write ends so EOF
+    # detection reflects the children alone.
+    for rank in range(n_ranks):
+        for conn in readers[rank].values():
+            conn.close()
+        for conn in writers[rank].values():
+            conn.close()
+    for _, res_w in procs:
+        res_w.close()
+
+    results: list = [None] * n_ranks
+    errors: list = [None] * n_ranks
+    pending = {result_conns[r]: r for r in range(n_ranks)}
+    while pending:
+        ready = _mpc.wait(list(pending), timeout=0.25)
+        for conn in ready:
+            rank = pending.pop(conn)
+            try:
+                kind, _r, payload = conn.recv()
+            except (EOFError, OSError):
+                err = RemoteError(
+                    f"rank {rank} exited without reporting a result"
+                )
+                err.simmpi_rank = rank
+                errors[rank] = err
+                continue
+            if kind == "ok":
+                results[rank] = payload
+            else:
+                payload.simmpi_rank = rank
+                errors[rank] = payload
+                if not isinstance(payload, RemoteError):
+                    logger.error("rank %d failed: %r", rank, payload)
+        if not ready:
+            # Liveness sweep: a hard-killed child never sets the failure
+            # flag itself, so the parent does it on its behalf.
+            for conn, rank in list(pending.items()):
+                proc = procs[rank][0]
+                if not proc.is_alive() and not conn.poll():
+                    err = RemoteError(
+                        f"rank {rank} died (exit code {proc.exitcode})"
+                    )
+                    err.simmpi_rank = rank
+                    errors[rank] = err
+                    failed.set()
+                    try:
+                        barrier.abort()
+                    except Exception:
+                        pass
+                    del pending[conn]
+
+    deadline = time.monotonic() + _JOIN_GRACE
+    for proc, _ in procs:
+        proc.join(timeout=max(0.1, deadline - time.monotonic()))
+    for proc, _ in procs:
+        if proc.is_alive():
+            logger.warning("terminating straggler process %s", proc.name)
+            proc.terminate()
+            proc.join(timeout=5)
+    for conn in result_conns:
+        conn.close()
+
+    primary = next(
+        (e for e in errors if e is not None and not isinstance(e, RemoteError)),
+        None,
+    )
+    if primary is not None:
+        raise primary
+    secondary = next((e for e in errors if e is not None), None)
+    if secondary is not None:
+        raise secondary
+    return results

@@ -96,6 +96,67 @@ def test_corner_ghosts_consistent():
     assert loc[0, -1, -1] == pytest.approx(field[0, 3, 3])
 
 
+def _large_slab_exchange(comm, shape, comps):
+    """Two ranks splitting a periodic axis: every slab goes both ways."""
+    cart = CartComm(comm, (2, 1), (True, False))
+    cx, _ = cart.coords()
+    bx = shape[0] // 2
+    loc = np.zeros((comps, bx + 2, shape[1] + 2))
+    loc[:, 1:-1, 1:-1] = float(comm.rank + 1)
+    spec = BoundarySpec.directional(2, bottom=Neumann(), top=Neumann())
+    exchange_ghosts(cart, loc, 2, spec)
+    return float(loc[0, 0, 1]), float(loc[0, -1, 1])
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_large_message_exchange_both_backends(backend):
+    """Slabs far beyond the inline threshold (shared-memory staging on
+    the process backend) exchanged symmetrically.
+
+    Regression for the send-before-irecv ordering bug: with bounded
+    channels, a symmetric exchange of slabs larger than the channel
+    capacity only completes because receives are now posted first.
+    """
+    from repro.simmpi.transport import INLINE_MAX
+
+    comps = 4
+    # slab = comps * 1 * (nz + 2) doubles; pick nz so it dwarfs INLINE_MAX
+    nz = int(INLINE_MAX) // 4
+    shape = (8, nz)
+    out = run_spmd(2, _large_slab_exchange, shape, comps, backend=backend)
+    # each rank's x-ghosts hold the peer's edge values (periodic wrap)
+    assert out[0] == (2.0, 2.0)
+    assert out[1] == (1.0, 1.0)
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_exchange_correct_on_both_backends(backend):
+    """Value-exact ghost fill on a 4-rank 2x2 topology, either backend."""
+    shape = (8, 8)
+    field = _global_field(shape, comps=1, seed=11)
+    spec = BoundarySpec.directional(2)
+
+    def fn(comm):
+        cart = CartComm(comm, (2, 2), (True, False))
+        cx, cz = cart.coords()
+        loc = np.zeros((1, 6, 6))
+        loc[:, 1:-1, 1:-1] = field[:, cx * 4 : cx * 4 + 4, cz * 4 : cz * 4 + 4]
+        exchange_ghosts(cart, loc, 2, spec)
+        return loc, (cx, cz)
+
+    results = run_spmd(4, fn, backend=backend)
+    for loc, (cx, cz) in results:
+        # x-face ghosts are the periodic neighbour's edge columns
+        np.testing.assert_array_equal(
+            loc[0, 0, 1:-1],
+            field[0, (cx * 4 - 1) % 8, cz * 4 : cz * 4 + 4],
+        )
+        np.testing.assert_array_equal(
+            loc[0, -1, 1:-1],
+            field[0, (cx * 4 + 4) % 8, cz * 4 : cz * 4 + 4],
+        )
+
+
 def test_timer_accumulates():
     def fn(comm):
         cart = CartComm(comm, (2,), (True,))

@@ -1,0 +1,94 @@
+"""Unit tests of the KernelContext scratch-buffer cache.
+
+The contract under test (see :meth:`KernelContext.get_scratch`): buffers
+are reused for identical ``(name, shape, dtype)`` keys, the cache is
+LRU-bounded so moving-window shape churn cannot leak memory, and a
+context is owned by a single live thread.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import make_context
+from repro.core.kernels.api import SCRATCH_MAX_ENTRIES
+from repro.core.parameters import PhaseFieldParameters
+from repro.thermo.system import TernaryEutecticSystem
+
+
+@pytest.fixture()
+def ctx():
+    system = TernaryEutecticSystem()
+    return make_context(system, PhaseFieldParameters.for_system(system))
+
+
+class TestCache:
+    def test_same_key_returns_same_buffer(self, ctx):
+        a = ctx.get_scratch("tmp", (4, 5))
+        b = ctx.get_scratch("tmp", (4, 5))
+        assert a is b
+
+    def test_distinct_names_do_not_alias(self, ctx):
+        a = ctx.get_scratch("a", (4, 5))
+        b = ctx.get_scratch("b", (4, 5))
+        assert a is not b
+        a.fill(1.0)
+        b.fill(2.0)
+        assert a[0, 0] == 1.0
+
+    def test_shape_and_dtype_are_part_of_the_key(self, ctx):
+        a = ctx.get_scratch("tmp", (4, 5))
+        b = ctx.get_scratch("tmp", (5, 4))
+        c = ctx.get_scratch("tmp", (4, 5), dtype=np.float32)
+        assert a.shape == (4, 5) and b.shape == (5, 4)
+        assert a is not b
+        assert c.dtype == np.float32 and c is not a
+
+    def test_bounded_under_shape_churn(self, ctx):
+        """A moving-window run churns z extents; the cache must not grow
+        past its bound."""
+        for nz in range(50):
+            ctx.get_scratch("window", (3, 8, nz + 1))
+        assert len(ctx._scratch) <= SCRATCH_MAX_ENTRIES
+
+    def test_lru_evicts_least_recently_used(self, ctx):
+        first = ctx.get_scratch("k0", (2,))
+        for i in range(1, SCRATCH_MAX_ENTRIES):
+            ctx.get_scratch(f"k{i}", (2,))
+        # touch k0 so it becomes most-recently-used, then overflow by one
+        assert ctx.get_scratch("k0", (2,)) is first
+        ctx.get_scratch("overflow", (2,))
+        assert ctx.get_scratch("k0", (2,)) is first  # survived eviction
+        assert len(ctx._scratch) <= SCRATCH_MAX_ENTRIES
+
+
+class TestOwnership:
+    def test_second_live_thread_is_rejected(self, ctx):
+        ctx.get_scratch("mine", (3,))  # main thread takes ownership
+        caught = []
+
+        def worker():
+            try:
+                ctx.get_scratch("theirs", (3,))
+            except RuntimeError as exc:
+                caught.append(exc)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert len(caught) == 1
+        assert "single-thread" in str(caught[0])
+
+    def test_ownership_transfers_after_owner_exits(self, ctx):
+        """Sequential run_spmd calls reuse contexts from fresh threads."""
+        def worker():
+            ctx.get_scratch("handoff", (3,))
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        # the owning thread is gone: the main thread may take over
+        arr = ctx.get_scratch("handoff", (3,))
+        assert arr.shape == (3,)
+        assert ctx._scratch_owner == threading.get_ident()

@@ -170,9 +170,38 @@ class TestFailureAnnotation:
         report = tl.timing_report()
         assert report["steps"] == 0
         assert report["partial_steps"] == 1
-        # the failing invocation is still timed, but not counted completed
-        assert report["functors"]["b"]["calls"] == 0
+        # the failing invocation is timed AND counted, so the reported
+        # average stays a true per-invocation average
+        assert report["functors"]["b"]["calls"] == 1
         assert report["functors"]["b"]["seconds"] >= 0.0
+        assert report["functors"]["b"]["avg"] == report["functors"]["b"]["total"]
         assert report["functors"]["a"]["calls"] == 1
         tl.reset_timers()
         assert tl.timing_report()["partial_steps"] == 0
+
+    def test_failing_invocation_updates_stats_atomically(self):
+        """Regression: calls/min/max must move together with seconds.
+
+        The old code bumped ``seconds`` in ``finally`` but ``calls`` and
+        the extrema only on success, so one failure inflated every later
+        average (total included the failed run, the divisor did not).
+        """
+        from repro.grid.timeloop import Functor
+
+        state = {"n": 0}
+
+        def sometimes_boom():
+            state["n"] += 1
+            if state["n"] == 2:
+                raise ValueError("injected")
+
+        f = Functor(name="s", fn=sometimes_boom)
+        f()
+        with pytest.raises(ValueError):
+            f()
+        f()
+        assert f.calls == 3
+        assert f.min_seconds <= f.max_seconds
+        assert f.seconds >= 3 * f.min_seconds - 1e-12
+        # the average over *all* invocations is consistent with the total
+        assert abs(f.seconds / f.calls - f.seconds / 3) < 1e-15
