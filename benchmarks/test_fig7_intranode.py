@@ -61,6 +61,28 @@ def _measured_backend_rate(backend: str, n_ranks: int) -> float:
     return rate_of(wall / BACKEND_STEPS, int(np.prod(BACKEND_SHAPE)))
 
 
+def _process_pipe_timings() -> dict | None:
+    """Timing tree of a telemetry'd process-backend run.
+
+    Carries the ``comm/pipe/{send,recv,ack}`` scopes the transport
+    records, quantifying how much of the process backend's wall time is
+    control-pipe traffic (vs. the shared-memory payload copies).
+    """
+    from repro.telemetry import RunTelemetry
+
+    phi, mu, _, system, _ = make_scenario("interface", BACKEND_SHAPE, seed=0)
+    interior = (slice(None),) + (slice(1, -1),) * len(BACKEND_SHAPE)
+    sim = DistributedSimulation(
+        BACKEND_SHAPE, (1, 1, 4), system=system, kernel="buffered",
+        n_ranks=2, backend="process",
+    )
+    result = sim.run(
+        BACKEND_STEPS, phi[interior], mu[interior],
+        telemetry=RunTelemetry(run_id="fig7-pipe"),
+    )
+    return result.timing
+
+
 def _measured_mu_rate(edge: int) -> float:
     phi, mu, tg, system, params = make_scenario("interface", (edge,) * 3)
     ctx = make_context(system, params)
@@ -105,6 +127,7 @@ def test_fig7_model_and_report(benchmark, results_dir):
             data[backend] = [
                 _measured_backend_rate(backend, n) for n in BACKEND_RANKS
             ]
+        data["pipe_tree"] = _process_pipe_timings()
 
     wall0 = time.perf_counter()
     benchmark.pedantic(measure, rounds=1, iterations=1)
@@ -123,6 +146,7 @@ def test_fig7_model_and_report(benchmark, results_dir):
         steps=len(CORES) * 2 + 2,
         wall_seconds=wall,
         mlups=data["m40"],
+        timings=data["pipe_tree"],
         series={
             "model_mlups_40": list(c40),
             "model_mlups_20": list(c20),
@@ -154,6 +178,17 @@ def test_fig7_model_and_report(benchmark, results_dir):
     ]
     for n, tr, pr in zip(BACKEND_RANKS, data["thread"], data["process"]):
         lines.append(f"{n:>6} {tr:>16.3f} {pr:>16.3f}")
+    pipe = (
+        data["pipe_tree"]["children"]["comm"]["children"]["pipe"]["children"]
+    )
+    lines += [
+        "",
+        "process-backend pipe overhead (2 ranks, telemetry run): "
+        + ", ".join(
+            f"{phase} {node['total'] * 1e3:.1f}ms/{node['count']}x"
+            for phase, node in sorted(pipe.items())
+        ),
+    ]
     write_report(results_dir, "fig7_intranode.txt", lines)
 
     # shape: near-linear scaling, below the memory roof (model, so these
@@ -165,6 +200,9 @@ def test_fig7_model_and_report(benchmark, results_dir):
     assert abs(c20[-1] - c40[-1]) / c40[-1] < 0.35
     assert data["m40"] > 0 and data["m20"] > 0
     assert all(r > 0 for r in data["thread"] + data["process"])
+    # the transport's pipe phases made it into the RunReport timings
+    assert {"send", "recv"} <= set(pipe)
+    assert all(node["count"] > 0 for node in pipe.values())
     # real intranode speedup needs real cores: only gate on multi-core
     # runners, where 4 process ranks must beat 1 by >= 1.5x
     if not SMOKE and (os.cpu_count() or 1) >= 4:

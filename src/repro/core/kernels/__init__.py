@@ -8,40 +8,81 @@ running test suite checks all kernel versions for equivalence").
 
 Ladder (in paper order, with the Python analog of each optimization):
 
-========== ============================================ =====================
-rung       paper                                         this repo
-========== ============================================ =====================
-reference  general-purpose C code (function pointers)    per-cell pure Python
-basic      basic waLBerla re-implementation              straightforward NumPy
-fused      explicit SIMD intrinsics                      in-place ops, scratch
-                                                         reuse, inline 2x2
-                                                         algebra (no einsum)
-tz         T(z) slice precomputation                     per-slice temperature
-                                                         coefficient arrays
-buffered   staggered-value buffering (Fig. 3)            face-flux arrays
-                                                         computed once per face
-shortcut   region-dependent term skipping                boolean-mask gather/
-                                                         scatter on interface
-                                                         and front cells
-========== ============================================ =====================
+=================== ========================================= =====================
+rung                paper                                     this repo
+=================== ========================================= =====================
+reference           general-purpose C code (function           per-cell pure Python
+                    pointers)
+basic               basic waLBerla re-implementation           straightforward NumPy
+fused               explicit SIMD intrinsics                   in-place ops, scratch
+                                                               reuse, inline 2x2
+                                                               algebra (no einsum)
+tz                  T(z) slice precomputation                  per-slice temperature
+                                                               coefficient arrays
+buffered            staggered-value buffering (Fig. 3)         face-flux arrays
+                                                               computed once per face
+shortcut            region-dependent term skipping             boolean-mask gather/
+                                                               scatter on interface
+                                                               and front cells
+compiled            hand-vectorized compiled kernel            per-cell compiled loop
+                                                               (numba ``@njit`` or
+                                                               generated C via cffi)
+compiled_shortcuts  compiled kernel + region skipping          same, with per-cell
+                                                               region branches
+=================== ========================================= =====================
+
+The two ``compiled*`` rungs are backed by :mod:`repro.core.kernels.compiled`
+and need either numba or a C toolchain + cffi.  They register
+unconditionally but may be *unavailable*; query :func:`rung_available` /
+:func:`available_rungs`, or let :func:`repro.core.kernels.compiled.maybe_fallback`
+degrade them to their NumPy twins (``compiled`` -> ``buffered``,
+``compiled_shortcuts`` -> ``shortcut``) with a :class:`RuntimeWarning` —
+the solvers do this automatically.  Backend choice is controlled by the
+``REPRO_KERNEL_BACKEND`` environment variable (``auto`` | ``numba`` |
+``cffi`` | ``none``).  Compiled rungs are pinned to the reference by the
+equivalence suite at the same documented tolerance (atol 1e-11) as the
+NumPy rungs; bitwise identity is not promised because the compiled code
+uses the analytic 2x2 chi solve and the O(N) driving-force form of the
+optimized rungs, not ``np.linalg.solve``.
 """
 
 from repro.core.kernels.api import (
+    COMPILED_RUNGS,
+    FALLBACK_RUNGS,
     KernelContext,
     LADDER,
     MU_KERNELS,
     PHI_KERNELS,
+    available_rungs,
     get_mu_kernel,
     get_phi_kernel,
+    get_split_mu_kernel,
     make_context,
+    rung_available,
 )
 
 __all__ = [
+    "COMPILED_RUNGS",
+    "FALLBACK_RUNGS",
     "KernelContext",
     "LADDER",
     "MU_KERNELS",
     "PHI_KERNELS",
+    "available_rungs",
+    "compiled",
     "get_mu_kernel",
     "get_phi_kernel",
+    "get_split_mu_kernel",
     "make_context",
+    "rung_available",
 ]
+
+
+def __getattr__(name):
+    # Lazy so `import repro.core.kernels` stays cheap; the compiled package
+    # itself defers backend probing until a kernel is invoked.
+    if name == "compiled":
+        import importlib
+
+        return importlib.import_module("repro.core.kernels.compiled")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -152,10 +152,27 @@ def make_context(
 
 
 #: Ladder order used by the Fig. 6 benchmark.
-LADDER = ("reference", "basic", "fused", "tz", "buffered", "shortcut")
+LADDER = (
+    "reference", "basic", "fused", "tz", "buffered", "shortcut",
+    "compiled", "compiled_shortcuts",
+)
+
+#: Rungs backed by a compiled backend (numba or generated-C/cffi); they
+#: register unconditionally but may be *unavailable* in a given
+#: environment — query :func:`rung_available` before invoking.
+COMPILED_RUNGS = ("compiled", "compiled_shortcuts")
+
+#: NumPy rung each compiled rung degrades to when no backend is usable.
+FALLBACK_RUNGS = {"compiled": "buffered", "compiled_shortcuts": "shortcut"}
 
 PHI_KERNELS: dict[str, object] = {}
 MU_KERNELS: dict[str, object] = {}
+
+#: ``rung -> (mu_local, mu_neighbor)`` split mu sweeps for the
+#: communication-hiding schedule (Algorithm 2).  Signatures:
+#: ``local(ctx, mu_src, phi_src, phi_dst, t_old, t_new) -> interior`` and
+#: ``neighbor(ctx, mu_partial, mu_src, phi_src, phi_dst, t_old) -> interior``.
+SPLIT_MU_KERNELS: dict[str, tuple] = {}
 
 
 def register(kind: str, name: str):
@@ -167,6 +184,38 @@ def register(kind: str, name: str):
         return fn
 
     return deco
+
+
+def register_split_mu(name: str, local, neighbor) -> None:
+    """Register the split mu sweep (local/neighbour parts) of a rung."""
+    SPLIT_MU_KERNELS[name] = (local, neighbor)
+
+
+def get_split_mu_kernel(name: str):
+    """``(mu_local, mu_neighbor)`` of a rung, or ``None`` if it has no
+    split mu sweep (overlap schedules require one)."""
+    _ensure_loaded()
+    return SPLIT_MU_KERNELS.get(name)
+
+
+def rung_available(name: str) -> bool:
+    """Whether a ladder rung is usable in this environment.
+
+    NumPy rungs are always available; the compiled rungs depend on a
+    usable backend (numba installed, or a C toolchain + cffi).  Unknown
+    names are simply reported unavailable.
+    """
+    _ensure_loaded()
+    if name in COMPILED_RUNGS:
+        from repro.core.kernels import compiled
+
+        return compiled.available()
+    return name in PHI_KERNELS and name in MU_KERNELS
+
+
+def available_rungs() -> tuple[str, ...]:
+    """The ladder filtered to rungs usable in this environment."""
+    return tuple(r for r in LADDER if rung_available(r))
 
 
 def get_phi_kernel(name: str):
@@ -190,9 +239,12 @@ def get_mu_kernel(name: str):
 def _ensure_loaded() -> None:
     # Import for the side effect of registration; kept lazy so that partial
     # installs (e.g. during docs builds) can import the API module alone.
+    # The compiled package registers its rungs here too, but defers any
+    # backend import/compilation until a compiled kernel is invoked.
     from repro.core.kernels import (  # noqa: F401
         basic,
         buffered,
+        compiled,
         fused,
         reference,
         shortcut,

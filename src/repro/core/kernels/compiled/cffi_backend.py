@@ -1,0 +1,770 @@
+"""Generated-C compiled backend (cffi ABI mode, OpenMP threading).
+
+A line-for-line C transcription of the per-cell loops in
+:mod:`repro.core.kernels.compiled.loops`, compiled on demand with the
+system C compiler into a shared library and loaded through ``cffi``'s ABI
+mode (``dlopen``) — no setuptools machinery, no build at install time.
+The paper's ladder ends in explicitly vectorized compiled kernels; this
+backend is the equivalent rung for environments without numba (ROADMAP
+lists "Numba ``@njit(parallel=True)`` or a generated-C/cffi kernel" as
+interchangeable options for it).
+
+Compilation policy
+------------------
+* The C source is hashed (together with the compiler identity); the
+  shared object is cached under ``_build/`` next to this module
+  (override with ``REPRO_COMPILED_CACHE``), so each environment compiles
+  exactly once.  Builds go to a temp name and ``os.replace`` in, so
+  concurrent processes race benignly.
+* No ``-ffast-math``: the equivalence suite pins the compiled rungs to
+  the pure-Python reference at the same tolerance as the NumPy rungs,
+  which IEEE-breaking optimizations would void.
+* ``-fopenmp`` is attempted first and dropped if the toolchain lacks it;
+  the library records which variant is loaded (:func:`num_threads`).
+
+Parallel safety: every temporary lives on the per-thread stack inside
+the OpenMP loop; the kernels never touch ``KernelContext.get_scratch``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "available",
+    "load",
+    "build_error",
+    "num_threads",
+    "phi_step_raw",
+    "mu_step_raw",
+]
+
+_CDEF = """
+void repro_phi_step(
+    const double *phi, const double *mu, const double *tg, double *out,
+    const long long *geom, const double *scal,
+    const double *gamma, const double *tau, const double *inv_curv,
+    const double *c_eq, const double *c_slope, const double *latent,
+    const double *diff, int shortcuts);
+void repro_mu_step(
+    const double *mu, const double *phi_src, const double *phi_dst,
+    const double *t_old, const double *t_new, double *out,
+    const long long *geom, const double *scal,
+    const double *inv_curv, const double *c_eq, const double *c_slope,
+    const double *diff, int anti_trapping, int shortcuts,
+    int include_at, int only_at);
+int repro_num_threads(void);
+"""
+
+# C transcription of loops.py (kept in the same order, term by term, so
+# the two stay auditable against each other).
+_C_SOURCE = r"""
+#include <math.h>
+#include <stdlib.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#define MAXN 8
+#define MAXK 4
+#define TOL 1e-9
+#define GRAD_TOL 1e-12
+
+typedef long long i64;
+
+int repro_num_threads(void)
+{
+#ifdef _OPENMP
+    return omp_get_max_threads();
+#else
+    return 1;
+#endif
+}
+
+void repro_phi_step(
+    const double *phi, const double *mu, const double *tg, double *out,
+    const i64 *geom, const double *scal,
+    const double *gamma, const double *tau, const double *inv_curv,
+    const double *c_eq, const double *c_slope, const double *latent,
+    const double *diff, int shortcuts)
+{
+    const int dim3 = (int)geom[0];
+    const i64 n0 = geom[1], n1 = geom[2], n2 = geom[3];
+    const int N = (int)geom[4], K = (int)geom[5];
+    const double dx = scal[0], dt = scal[1], eps = scal[2];
+    const double gt = scal[3], t_eut = scal[4];
+    const i64 g1 = n1 + 2, g2 = n2 + 2;
+    const i64 g0 = dim3 ? n0 + 2 : 1;
+    const i64 cs = g0 * g1 * g2;
+    const i64 ocs = n0 * n1 * n2;
+    const int nax = dim3 ? 3 : 2;
+    const double pref = 16.0 / (M_PI * M_PI);
+    (void)diff;
+
+    /* T(z) slice coefficients, once per sweep (the tz optimization) */
+    double *cmin_z = (double *)malloc((size_t)(n2 * N * K) * sizeof(double));
+    double *lat_z = (double *)malloc((size_t)(n2 * N) * sizeof(double));
+    for (i64 iz = 0; iz < n2; iz++) {
+        const double dT = tg[iz + 1] - t_eut;
+        for (int a = 0; a < N; a++) {
+            lat_z[iz * N + a] = latent[a] * dT;
+            for (int i = 0; i < K; i++)
+                cmin_z[(iz * N + a) * K + i] =
+                    c_eq[a * K + i] + c_slope[a * K + i] * dT;
+        }
+    }
+
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (i64 p01 = 0; p01 < n0 * n1; p01++) {
+        const i64 i0 = p01 / n1;
+        const i64 i1 = p01 - i0 * n1;
+        i64 off[3];
+        i64 base01;
+        if (dim3) {
+            off[0] = g1 * g2; off[1] = g2; off[2] = 1;
+            base01 = ((i0 + 1) * g1 + (i1 + 1)) * g2;
+        } else {
+            off[0] = g2; off[1] = 1; off[2] = 0;
+            base01 = (i1 + 1) * g2;
+        }
+        double phi_c[MAXN], mu_c[MAXK], grad[3][MAXN];
+        double rhs[MAXN], psi[MAXN], vnew[MAXN], u[MAXN];
+        for (i64 i2 = 0; i2 < n2; i2++) {
+            const i64 c = base01 + i2 + 1;
+            const i64 oc = (i0 * n1 + i1) * n2 + i2;
+            for (int a = 0; a < N; a++) phi_c[a] = phi[a * cs + c];
+            for (int i = 0; i < K; i++) mu_c[i] = mu[i * cs + c];
+
+            int diffuse = 1;
+            if (shortcuts) {
+                for (int a = 0; a < N; a++)
+                    if (phi_c[a] >= 1.0 - TOL) { diffuse = 0; break; }
+                int active = diffuse;
+                for (int d = 0; d < nax && !active; d++)
+                    for (int si = 0; si < 2 && !active; si++) {
+                        const i64 nb = c + (i64)(1 - 2 * si) * off[d];
+                        for (int a = 0; a < N; a++)
+                            if (fabs(phi[a * cs + nb] - phi_c[a]) > TOL) {
+                                active = 1;
+                                break;
+                            }
+                    }
+                if (!active) {
+                    /* bulk cell with uniform neighbourhood: fixed point */
+                    for (int a = 0; a < N; a++)
+                        out[a * ocs + oc] = phi_c[a];
+                    continue;
+                }
+            }
+
+            /* centered phase gradients */
+            for (int d = 0; d < nax; d++) {
+                const i64 o = off[d];
+                for (int a = 0; a < N; a++)
+                    grad[d][a] =
+                        (phi[a * cs + c + o] - phi[a * cs + c - o])
+                        / (2.0 * dx);
+            }
+
+            /* dA/dphi_a */
+            for (int a = 0; a < N; a++) {
+                double acc = 0.0;
+                for (int b = 0; b < N; b++) {
+                    if (b == a) continue;
+                    const double g = gamma[a * N + b];
+                    if (g == 0.0) continue;
+                    double dot = 0.0;
+                    for (int d = 0; d < nax; d++)
+                        dot += (phi_c[a] * grad[d][b]
+                                - phi_c[b] * grad[d][a]) * grad[d][b];
+                    acc += 2.0 * g * dot;
+                }
+                rhs[a] = acc;
+            }
+
+            /* - div(dA/d grad phi_a) via the 2*dim face fluxes */
+            for (int d = 0; d < nax; d++) {
+                const i64 o = off[d];
+                for (int si = 0; si < 2; si++) {
+                    const int s = 1 - 2 * si;
+                    const i64 nb = c + (i64)s * o;
+                    for (int a = 0; a < N; a++) {
+                        const double pna = phi[a * cs + nb];
+                        double acc = 0.0;
+                        for (int b = 0; b < N; b++) {
+                            if (b == a) continue;
+                            const double g = gamma[a * N + b];
+                            if (g == 0.0) continue;
+                            const double pnb = phi[b * cs + nb];
+                            const double avg_a = 0.5 * (phi_c[a] + pna);
+                            const double avg_b = 0.5 * (phi_c[b] + pnb);
+                            const double da = s * (pna - phi_c[a]) / dx;
+                            const double db = s * (pnb - phi_c[b]) / dx;
+                            acc += 2.0 * g
+                                * (avg_b * avg_b * da - avg_a * avg_b * db);
+                        }
+                        rhs[a] -= s * acc / dx;
+                    }
+                }
+            }
+
+            const double t = tg[i2 + 1];
+            for (int a = 0; a < N; a++) rhs[a] *= t * eps;
+
+            /* obstacle potential dW/dphi_a */
+            for (int a = 0; a < N; a++) {
+                double acc = 0.0;
+                for (int b = 0; b < N; b++)
+                    if (b != a) acc += pref * gamma[a * N + b] * phi_c[b];
+                if (gt != 0.0) {
+                    double acc3 = 0.0;
+                    for (int b = 0; b < N; b++) {
+                        if (b == a) continue;
+                        for (int e = b + 1; e < N; e++) {
+                            if (e == a) continue;
+                            acc3 += phi_c[b] * phi_c[e];
+                        }
+                    }
+                    acc += gt * acc3;
+                }
+                rhs[a] += (t / eps) * acc;
+            }
+
+            /* driving force (diffuse cells only under shortcuts) */
+            if (!shortcuts || diffuse) {
+                double sq_sum = 0.0;
+                for (int a = 0; a < N; a++) sq_sum += phi_c[a] * phi_c[a];
+                sq_sum += 1e-300;
+                for (int a = 0; a < N; a++) {
+                    double quad = 0.0;
+                    for (int i = 0; i < K; i++) {
+                        quad += inv_curv[(a * K + i) * K + i]
+                            * mu_c[i] * mu_c[i];
+                        for (int j = i + 1; j < K; j++)
+                            quad += 2.0 * inv_curv[(a * K + i) * K + j]
+                                * mu_c[i] * mu_c[j];
+                    }
+                    double lin = 0.0;
+                    for (int i = 0; i < K; i++)
+                        lin += mu_c[i] * cmin_z[(i2 * N + a) * K + i];
+                    psi[a] = -0.5 * quad - lin + lat_z[i2 * N + a];
+                }
+                double weighted = 0.0;
+                for (int a = 0; a < N; a++)
+                    weighted += phi_c[a] * phi_c[a] * psi[a];
+                weighted /= sq_sum;
+                for (int a = 0; a < N; a++)
+                    rhs[a] += (2.0 / sq_sum) * phi_c[a] * (psi[a] - weighted);
+            }
+
+            /* Lagrange term, explicit Euler, simplex projection */
+            double mean = 0.0;
+            for (int a = 0; a < N; a++) mean += rhs[a];
+            mean /= N;
+            for (int a = 0; a < N; a++)
+                vnew[a] = phi_c[a] - (dt / (tau[a] * eps)) * (rhs[a] - mean);
+
+            /* Michelot/Condat: sort desc, last positive pivot, clip */
+            for (int a = 0; a < N; a++) u[a] = vnew[a];
+            for (int a = 1; a < N; a++) {
+                const double key = u[a];
+                int b = a - 1;
+                while (b >= 0 && u[b] < key) { u[b + 1] = u[b]; b--; }
+                u[b + 1] = key;
+            }
+            double css = 0.0, theta = 0.0;
+            for (int a = 0; a < N; a++) {
+                css += u[a];
+                const double cand = u[a] + (1.0 - css) / (a + 1);
+                if (cand > 0.0) theta = (1.0 - css) / (a + 1.0);
+            }
+            for (int a = 0; a < N; a++) {
+                const double x = vnew[a] + theta;
+                out[a * ocs + oc] = x > 0.0 ? x : 0.0;
+            }
+        }
+    }
+    free(cmin_z);
+    free(lat_z);
+}
+
+void repro_mu_step(
+    const double *mu, const double *phi_src, const double *phi_dst,
+    const double *t_old, const double *t_new, double *out,
+    const i64 *geom, const double *scal,
+    const double *inv_curv, const double *c_eq, const double *c_slope,
+    const double *diff, int anti_trapping, int shortcuts,
+    int include_at, int only_at)
+{
+    const int dim3 = (int)geom[0];
+    const i64 n0 = geom[1], n1 = geom[2], n2 = geom[3];
+    const int N = (int)geom[4], K = (int)geom[5];
+    const int ell = (int)geom[6];
+    const double dx = scal[0], dt = scal[1], eps = scal[2];
+    const double t_eut = scal[4];
+    const i64 g1 = n1 + 2, g2 = n2 + 2;
+    const i64 g0 = dim3 ? n0 + 2 : 1;
+    const i64 cs = g0 * g1 * g2;
+    const i64 ocs = n0 * n1 * n2;
+    const int nax = dim3 ? 3 : 2;
+    const double pref_at = M_PI * eps / 4.0;
+
+    /* T(z) coefficients at cell centres and growth-axis faces */
+    double *cmin_c = (double *)malloc((size_t)(n2 * N * K) * sizeof(double));
+    double *cmin_f =
+        (double *)malloc((size_t)((n2 + 1) * N * K) * sizeof(double));
+    for (i64 iz = 0; iz < n2; iz++) {
+        const double dT = t_old[iz + 1] - t_eut;
+        for (int a = 0; a < N; a++)
+            for (int i = 0; i < K; i++)
+                cmin_c[(iz * N + a) * K + i] =
+                    c_eq[a * K + i] + c_slope[a * K + i] * dT;
+    }
+    for (i64 f = 0; f < n2 + 1; f++) {
+        const double dT = 0.5 * (t_old[f] + t_old[f + 1]) - t_eut;
+        for (int a = 0; a < N; a++)
+            for (int i = 0; i < K; i++)
+                cmin_f[(f * N + a) * K + i] =
+                    c_eq[a * K + i] + c_slope[a * K + i] * dT;
+    }
+
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+    for (i64 p01 = 0; p01 < n0 * n1; p01++) {
+        const i64 i0 = p01 / n1;
+        const i64 i1 = p01 - i0 * n1;
+        i64 off[3];
+        i64 base01;
+        if (dim3) {
+            off[0] = g1 * g2; off[1] = g2; off[2] = 1;
+            base01 = ((i0 + 1) * g1 + (i1 + 1)) * g2;
+        } else {
+            off[0] = g2; off[1] = 1; off[2] = 0;
+            base01 = (i1 + 1) * g2;
+        }
+        double phio[MAXN], phin[MAXN], mu_c[MAXK];
+        double h_old[MAXN], h_new[MAXN];
+        double rhs[MAXK], dmu[MAXK], flux[MAXK];
+        double phi_f[MAXN], dphidt_f[MAXN], mu_f[MAXK];
+        double gl[3], nl[3], ga[3], na[3], c_l[MAXK];
+        double chi[MAXK][MAXK], sol[MAXK];
+        for (i64 i2 = 0; i2 < n2; i2++) {
+            const i64 c = base01 + i2 + 1;
+            const i64 oc = (i0 * n1 + i1) * n2 + i2;
+            const double told = t_old[i2 + 1];
+            const double tnew = t_new[i2 + 1];
+            for (int a = 0; a < N; a++) {
+                phio[a] = phi_src[a * cs + c];
+                phin[a] = phi_dst[a * cs + c];
+            }
+            for (int i = 0; i < K; i++) mu_c[i] = mu[i * cs + c];
+
+            int active = 1, front = 1;
+            if (shortcuts) {
+                int diffuse = 1;
+                for (int a = 0; a < N; a++)
+                    if (phio[a] >= 1.0 - TOL) { diffuse = 0; break; }
+                active = diffuse;
+                for (int d = 0; d < nax && !active; d++)
+                    for (int si = 0; si < 2 && !active; si++) {
+                        const i64 nb = c + (i64)(1 - 2 * si) * off[d];
+                        for (int a = 0; a < N; a++)
+                            if (fabs(phi_src[a * cs + nb] - phio[a]) > TOL) {
+                                active = 1;
+                                break;
+                            }
+                    }
+                if (active) {
+                    int near = phi_src[ell * cs + c] > TOL;
+                    for (int d = 0; d < nax && !near; d++)
+                        for (int si = 0; si < 2; si++) {
+                            const i64 nb = c + (i64)(1 - 2 * si) * off[d];
+                            if (phi_src[ell * cs + nb] > TOL) {
+                                near = 1;
+                                break;
+                            }
+                        }
+                    front = near;
+                } else {
+                    front = 0;
+                }
+            }
+
+            const int do_at = anti_trapping && front;
+            if (only_at && !do_at)
+                continue;  /* out already holds the local partial result */
+
+            /* Moelans interpolation weights of both time levels */
+            double sqo = 0.0, sqn = 0.0;
+            for (int a = 0; a < N; a++) {
+                sqo += phio[a] * phio[a];
+                sqn += phin[a] * phin[a];
+            }
+            sqo += 1e-300;
+            sqn += 1e-300;
+            for (int a = 0; a < N; a++) {
+                h_old[a] = phio[a] * phio[a] / sqo;
+                h_new[a] = phin[a] * phin[a] / sqn;
+            }
+
+            for (int i = 0; i < K; i++) rhs[i] = 0.0;
+            if (!only_at) {
+                if (active) {
+                    /* phase-change source */
+                    for (int a = 0; a < N; a++) {
+                        const double dh = h_new[a] - h_old[a];
+                        for (int i = 0; i < K; i++) {
+                            double c_ai = cmin_c[(i2 * N + a) * K + i];
+                            for (int j = 0; j < K; j++)
+                                c_ai += inv_curv[(a * K + i) * K + j]
+                                    * mu_c[j];
+                            rhs[i] -= dh * c_ai / dt;
+                        }
+                    }
+                }
+                /* temperature drift source */
+                const double fac = (tnew - told) / dt;
+                for (int i = 0; i < K; i++) {
+                    double acc = 0.0;
+                    for (int a = 0; a < N; a++)
+                        acc += h_new[a] * c_slope[a * K + i];
+                    rhs[i] -= acc * fac;
+                }
+            }
+
+            /* face fluxes: div(M grad mu - J_at) */
+            for (int d = 0; d < nax; d++) {
+                const i64 o = off[d];
+                for (int si = 0; si < 2; si++) {
+                    const int s = 1 - 2 * si;
+                    const i64 nb = c + (i64)s * o;
+                    for (int i = 0; i < K; i++) flux[i] = 0.0;
+                    if (!only_at) {
+                        for (int i = 0; i < K; i++)
+                            dmu[i] = s * (mu[i * cs + nb] - mu_c[i]) / dx;
+                        for (int a = 0; a < N; a++) {
+                            double w = 0.5 * (phio[a] + phi_src[a * cs + nb]);
+                            if (w < 0.0) w = 0.0;
+                            else if (w > 1.0) w = 1.0;
+                            for (int i = 0; i < K; i++) {
+                                double acc = 0.0;
+                                for (int j = 0; j < K; j++)
+                                    acc += inv_curv[(a * K + i) * K + j]
+                                        * dmu[j];
+                                flux[i] += w * diff[a] * acc;
+                            }
+                        }
+                    }
+                    if (do_at && include_at) {
+                        /* anti-trapping current through this face */
+                        double sqs = 0.0;
+                        for (int a = 0; a < N; a++) {
+                            double v = 0.5 * (phio[a] + phi_src[a * cs + nb]);
+                            if (v < 0.0) v = 0.0;
+                            else if (v > 1.0) v = 1.0;
+                            phi_f[a] = v;
+                            dphidt_f[a] = 0.5 * (
+                                (phin[a] - phio[a])
+                                + (phi_dst[a * cs + nb]
+                                   - phi_src[a * cs + nb])) / dt;
+                            sqs += v * v;
+                        }
+                        sqs += 1e-300;
+                        for (int i = 0; i < K; i++)
+                            mu_f[i] = 0.5 * (mu_c[i] + mu[i * cs + nb]);
+                        /* liquid normal at the face */
+                        double normsq = 0.0;
+                        for (int e = 0; e < nax; e++) {
+                            if (e == d) {
+                                gl[e] = s * (phi_src[ell * cs + nb]
+                                             - phi_src[ell * cs + c]) / dx;
+                            } else {
+                                const i64 oe = off[e];
+                                gl[e] = 0.5 * (
+                                    (phi_src[ell * cs + c + oe]
+                                     - phi_src[ell * cs + c - oe])
+                                    / (2.0 * dx)
+                                    + (phi_src[ell * cs + nb + oe]
+                                       - phi_src[ell * cs + nb - oe])
+                                    / (2.0 * dx));
+                            }
+                            normsq += gl[e] * gl[e];
+                        }
+                        const double norm_l = sqrt(normsq);
+                        for (int e = 0; e < nax; e++)
+                            nl[e] = norm_l > GRAD_TOL ? gl[e] / norm_l : 0.0;
+                        /* c_l(mu_f, T_face) */
+                        i64 fz = -1;
+                        if (d == nax - 1) {
+                            fz = s > 0 ? i2 + 1 : i2;
+                            for (int i = 0; i < K; i++)
+                                c_l[i] = cmin_f[(fz * N + ell) * K + i];
+                        } else {
+                            for (int i = 0; i < K; i++)
+                                c_l[i] = cmin_c[(i2 * N + ell) * K + i];
+                        }
+                        for (int i = 0; i < K; i++) {
+                            double acc = 0.0;
+                            for (int j = 0; j < K; j++)
+                                acc += inv_curv[(ell * K + i) * K + j]
+                                    * mu_f[j];
+                            c_l[i] += acc;
+                        }
+                        for (int a = 0; a < N; a++) {
+                            if (a == ell) continue;
+                            double nsq = 0.0;
+                            for (int e = 0; e < nax; e++) {
+                                if (e == d) {
+                                    ga[e] = s * (phi_src[a * cs + nb]
+                                                 - phi_src[a * cs + c]) / dx;
+                                } else {
+                                    const i64 oe = off[e];
+                                    ga[e] = 0.5 * (
+                                        (phi_src[a * cs + c + oe]
+                                         - phi_src[a * cs + c - oe])
+                                        / (2.0 * dx)
+                                        + (phi_src[a * cs + nb + oe]
+                                           - phi_src[a * cs + nb - oe])
+                                        / (2.0 * dx));
+                                }
+                                nsq += ga[e] * ga[e];
+                            }
+                            const double norm_a = sqrt(nsq);
+                            for (int e = 0; e < nax; e++)
+                                na[e] = norm_a > GRAD_TOL
+                                    ? ga[e] / norm_a : 0.0;
+                            const double amp =
+                                sqrt(phi_f[a] * phi_f[ell])
+                                * phi_f[ell] / sqs;
+                            double dot = 0.0;
+                            for (int e = 0; e < nax; e++)
+                                dot += na[e] * nl[e];
+                            const double scalf =
+                                pref_at * amp * dphidt_f[a] * dot * na[d];
+                            for (int i = 0; i < K; i++) {
+                                double c_ai = fz >= 0
+                                    ? cmin_f[(fz * N + a) * K + i]
+                                    : cmin_c[(i2 * N + a) * K + i];
+                                for (int j = 0; j < K; j++)
+                                    c_ai += inv_curv[(a * K + i) * K + j]
+                                        * mu_f[j];
+                                flux[i] -= scalf * (c_l[i] - c_ai);
+                            }
+                        }
+                    }
+                    for (int i = 0; i < K; i++) rhs[i] += s * flux[i] / dx;
+                }
+            }
+
+            /* susceptibility solve chi dmu = rhs */
+            if (K == 2) {
+                double ca = 0.0, cb = 0.0, cc = 0.0, cd = 0.0;
+                for (int a = 0; a < N; a++) {
+                    ca += h_new[a] * inv_curv[a * 4 + 0];
+                    cb += h_new[a] * inv_curv[a * 4 + 1];
+                    cc += h_new[a] * inv_curv[a * 4 + 2];
+                    cd += h_new[a] * inv_curv[a * 4 + 3];
+                }
+                const double det = ca * cd - cb * cc;
+                sol[0] = (cd * rhs[0] - cb * rhs[1]) / det;
+                sol[1] = (ca * rhs[1] - cc * rhs[0]) / det;
+            } else {
+                for (int i = 0; i < K; i++) {
+                    for (int j = 0; j < K; j++) {
+                        double acc = 0.0;
+                        for (int a = 0; a < N; a++)
+                            acc += h_new[a] * inv_curv[(a * K + i) * K + j];
+                        chi[i][j] = acc;
+                    }
+                    sol[i] = rhs[i];
+                }
+                /* Gaussian elimination with partial pivoting */
+                for (int col = 0; col < K; col++) {
+                    int piv = col;
+                    for (int r = col + 1; r < K; r++)
+                        if (fabs(chi[r][col]) > fabs(chi[piv][col])) piv = r;
+                    if (piv != col) {
+                        for (int j = 0; j < K; j++) {
+                            const double tmp = chi[col][j];
+                            chi[col][j] = chi[piv][j];
+                            chi[piv][j] = tmp;
+                        }
+                        const double tmp = sol[col];
+                        sol[col] = sol[piv];
+                        sol[piv] = tmp;
+                    }
+                    for (int r = col + 1; r < K; r++) {
+                        const double f = chi[r][col] / chi[col][col];
+                        for (int j = col; j < K; j++)
+                            chi[r][j] -= f * chi[col][j];
+                        sol[r] -= f * sol[col];
+                    }
+                }
+                for (int col = K - 1; col >= 0; col--) {
+                    double acc = sol[col];
+                    for (int j = col + 1; j < K; j++)
+                        acc -= chi[col][j] * sol[j];
+                    sol[col] = acc / chi[col][col];
+                }
+            }
+
+            if (only_at) {
+                for (int i = 0; i < K; i++)
+                    out[i * ocs + oc] += dt * sol[i];
+            } else {
+                for (int i = 0; i < K; i++)
+                    out[i * ocs + oc] = mu_c[i] + dt * sol[i];
+            }
+        }
+    }
+    free(cmin_c);
+    free(cmin_f);
+}
+"""
+
+_CC_CANDIDATES = ("cc", "gcc", "clang")
+
+_lib = None
+_ffi = None
+_build_error: str | None = None
+_loaded = False
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_COMPILED_CACHE")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent / "_build"
+
+
+def _find_cc() -> str | None:
+    import shutil
+
+    for cc in _CC_CANDIDATES:
+        path = shutil.which(cc)
+        if path:
+            return path
+    return None
+
+
+def _compile(cc: str, cache: Path, tag: str) -> Path:
+    """Compile the kernel library into the cache (atomic publish)."""
+    cache.mkdir(parents=True, exist_ok=True)
+    target = cache / f"repro_kernels_{tag}.so"
+    if target.exists():
+        return target
+    src = cache / f"repro_kernels_{tag}.c"
+    src.write_text(_C_SOURCE)
+    fd, tmp = tempfile.mkstemp(
+        suffix=".so", prefix="repro_kernels_", dir=str(cache)
+    )
+    os.close(fd)
+    base = [cc, "-O3", "-fPIC", "-shared", str(src), "-o", tmp, "-lm"]
+    attempts = (
+        base[:1] + ["-fopenmp"] + base[1:],  # threaded build first
+        base,                                # serial fallback
+    )
+    last = None
+    for cmd in attempts:
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=300
+        )
+        if proc.returncode == 0:
+            os.replace(tmp, target)
+            return target
+        last = proc.stderr.strip()
+    os.unlink(tmp)
+    raise RuntimeError(f"C kernel build failed with {cc}: {last}")
+
+
+def load():
+    """Compile (once per environment) and dlopen the kernel library.
+
+    Returns the cffi library handle, or ``None`` when no working C
+    toolchain or cffi is present (the registry then reports the compiled
+    rungs unavailable instead of erroring).
+    """
+    global _lib, _ffi, _build_error, _loaded
+    if _loaded:
+        return _lib
+    _loaded = True
+    try:
+        import cffi
+    except ImportError:
+        _build_error = "cffi is not installed"
+        return None
+    cc = _find_cc()
+    if cc is None:
+        _build_error = f"no C compiler found (tried {_CC_CANDIDATES})"
+        return None
+    tag = hashlib.sha256(
+        (_C_SOURCE + _CDEF + cc).encode()
+    ).hexdigest()[:16]
+    try:
+        path = _compile(cc, _cache_dir(), tag)
+        ffi = cffi.FFI()
+        ffi.cdef(_CDEF)
+        _lib = ffi.dlopen(str(path))
+        _ffi = ffi
+    except (RuntimeError, OSError) as exc:
+        _build_error = str(exc)
+        _lib = None
+    return _lib
+
+
+def available() -> bool:
+    """True when the C library compiled and loaded in this environment."""
+    return load() is not None
+
+
+def build_error() -> str | None:
+    """Why :func:`available` is False (None when it is True)."""
+    load()
+    return _build_error
+
+
+def num_threads() -> int:
+    """OpenMP thread count of the loaded library (1 = serial build)."""
+    lib = load()
+    return int(lib.repro_num_threads()) if lib is not None else 0
+
+
+def _ptr(arr: np.ndarray, ctype: str = "const double *"):
+    return _ffi.cast(ctype, arr.ctypes.data)
+
+
+def phi_step_raw(phi, mu, tg, out, geom, scal, gamma, tau, inv_curv,
+                 c_eq, c_slope, latent, diff, shortcuts):
+    """Flat-array phi sweep (same signature as ``loops.phi_cellwise``)."""
+    lib = load()
+    lib.repro_phi_step(
+        _ptr(phi), _ptr(mu), _ptr(tg), _ptr(out, "double *"),
+        _ptr(geom, "const long long *"), _ptr(scal),
+        _ptr(gamma), _ptr(tau), _ptr(inv_curv), _ptr(c_eq),
+        _ptr(c_slope), _ptr(latent), _ptr(diff), int(shortcuts),
+    )
+    return out
+
+
+def mu_step_raw(mu, phi_src, phi_dst, t_old, t_new, out, geom, scal,
+                inv_curv, c_eq, c_slope, diff,
+                anti_trapping, shortcuts, include_at, only_at):
+    """Flat-array mu sweep (same signature as ``loops.mu_cellwise``)."""
+    lib = load()
+    lib.repro_mu_step(
+        _ptr(mu), _ptr(phi_src), _ptr(phi_dst), _ptr(t_old), _ptr(t_new),
+        _ptr(out, "double *"), _ptr(geom, "const long long *"), _ptr(scal),
+        _ptr(inv_curv), _ptr(c_eq), _ptr(c_slope), _ptr(diff),
+        int(anti_trapping), int(shortcuts), int(include_at), int(only_at),
+    )
+    return out

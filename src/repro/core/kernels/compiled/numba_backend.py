@@ -1,0 +1,65 @@
+"""Numba backend: ``@njit(parallel=True, fastmath=False)`` over loops.py.
+
+The primary compiled backend.  The jitted functions *are* the loop
+bodies of :mod:`repro.core.kernels.compiled.loops`, compiled unchanged —
+``prange`` over the transverse cell columns gives real multi-core
+parallelism, ``fastmath=False`` keeps IEEE semantics so the equivalence
+suite pins this rung to the reference at the same tolerance as the
+NumPy rungs.  ``cache=True`` persists the compiled machine code next to
+the package, so the per-process JIT cost is paid once per environment.
+
+Import of numba itself is deferred to :func:`load`; environments without
+numba fall through to the cffi backend (see the package ``__init__``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["available", "load", "build_error", "phi_step_raw", "mu_step_raw"]
+
+_fns = None
+_loaded = False
+_build_error: str | None = None
+
+
+def load():
+    """Jit-wrap the loop bodies (once); returns ``(phi, mu)`` or None."""
+    global _fns, _loaded, _build_error
+    if _loaded:
+        return _fns
+    _loaded = True
+    try:
+        import numba
+    except ImportError:
+        _build_error = "numba is not installed"
+        return None
+    from repro.core.kernels.compiled import loops
+
+    try:
+        jit = numba.njit(parallel=True, fastmath=False, cache=True,
+                         nogil=True)
+        _fns = (jit(loops.phi_cellwise), jit(loops.mu_cellwise))
+    except Exception as exc:  # pragma: no cover - defensive
+        _build_error = f"numba jit failed: {exc!r}"
+        _fns = None
+    return _fns
+
+
+def available() -> bool:
+    """True when numba is importable and the loops jit-wrapped."""
+    return load() is not None
+
+
+def build_error() -> str | None:
+    """Why :func:`available` is False (None when it is True)."""
+    load()
+    return _build_error
+
+
+def phi_step_raw(*args):
+    """Flat-array phi sweep (compiles on first call per signature)."""
+    return load()[0](*args)
+
+
+def mu_step_raw(*args):
+    """Flat-array mu sweep (compiles on first call per signature)."""
+    return load()[1](*args)

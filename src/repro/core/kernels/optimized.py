@@ -34,9 +34,11 @@ from __future__ import annotations
 
 import numpy as np
 
+import functools
+
 from repro.core.antitrapping import face_flux as antitrapping_face_flux
 from repro.core.gradient_energy import dA_dphi, divergence_term
-from repro.core.kernels.api import KernelContext
+from repro.core.kernels.api import KernelContext, register_split_mu
 from repro.core.kernels.basic import _divergence_unbuffered
 from repro.core.kernels.common import face_temperature
 from repro.core.potential import OBSTACLE_PREFACTOR, dW_dphi
@@ -44,11 +46,20 @@ from repro.core.simplex import project_simplex_field
 from repro.core.stencils import div_faces, face_avg, face_diff, interior
 
 __all__ = [
+    "KERNEL_FLAGS",
     "phi_step_impl",
     "mu_step_impl",
     "mu_step_local_impl",
     "mu_step_neighbor_impl",
 ]
+
+#: Flag bindings of the optimized NumPy rungs (see module docstring).
+KERNEL_FLAGS = {
+    "fused": dict(full_field_t=True, buffered=False, shortcuts=False),
+    "tz": dict(full_field_t=False, buffered=False, shortcuts=False),
+    "buffered": dict(full_field_t=False, buffered=True, shortcuts=False),
+    "shortcut": dict(full_field_t=False, buffered=True, shortcuts=True),
+}
 
 _TOL = 1e-9
 
@@ -561,3 +572,12 @@ def mu_step_neighbor_impl(
     out = mu_partial.copy()
     out[sl_i] += dt * dmu
     return out
+
+
+for _name, _flags in KERNEL_FLAGS.items():
+    register_split_mu(
+        _name,
+        functools.partial(mu_step_local_impl, **_flags),
+        functools.partial(mu_step_neighbor_impl, **_flags),
+    )
+del _name, _flags

@@ -100,7 +100,16 @@ class Simulation:
                 f"params.dim={self.params.dim} does not match shape {shape}"
             )
         self.ctx = make_context(self.system, self.params)
+        from repro.core.kernels import COMPILED_RUNGS, compiled
+
+        kernel = compiled.maybe_fallback(kernel)
         self.kernel_name = kernel
+        #: Seconds spent compiling/warming the kernel backend before the
+        #: first timed step (0.0 for the NumPy rungs).  Benchmarks subtract
+        #: this so JIT warmup never pollutes MLUP/s numbers.
+        self.compile_seconds = 0.0
+        if kernel in COMPILED_RUNGS:
+            self.compile_seconds = compiled.warmup(self.ctx, dim=self.dim)
         self._phi_kernel = get_phi_kernel(kernel)
         self.imex = imex
         if imex:

@@ -28,10 +28,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.kernels import get_mu_kernel, get_phi_kernel, make_context
-from repro.core.kernels.optimized import (
-    mu_step_local_impl,
-    mu_step_neighbor_impl,
+from repro.core.kernels import (
+    COMPILED_RUNGS,
+    get_mu_kernel,
+    get_phi_kernel,
+    get_split_mu_kernel,
+    make_context,
 )
 from repro.core.parameters import PhaseFieldParameters
 from repro.core.temperature import ConstantTemperature, FrozenTemperature
@@ -46,13 +48,6 @@ from repro.thermo.system import TernaryEutecticSystem
 __all__ = ["DistributedSimulation", "DistributedResult", "RankStats"]
 
 logger = logging.getLogger(__name__)
-
-_KERNEL_FLAGS = {
-    "fused": dict(full_field_t=True, buffered=False, shortcuts=False),
-    "tz": dict(full_field_t=False, buffered=False, shortcuts=False),
-    "buffered": dict(full_field_t=False, buffered=True, shortcuts=False),
-    "shortcut": dict(full_field_t=False, buffered=True, shortcuts=True),
-}
 
 
 @dataclass
@@ -136,10 +131,14 @@ class DistributedSimulation:
             if params is not None
             else PhaseFieldParameters.for_system(self.system, dim=self.dim)
         )
-        if overlap and kernel not in _KERNEL_FLAGS:
+        from repro.core.kernels import compiled
+        from repro.core.kernels.api import SPLIT_MU_KERNELS
+
+        kernel = compiled.maybe_fallback(kernel)
+        if overlap and get_split_mu_kernel(kernel) is None:
             raise ValueError(
                 f"kernel {kernel!r} has no split mu sweep; choose one of "
-                f"{sorted(_KERNEL_FLAGS)} for overlap runs"
+                f"{sorted(SPLIT_MU_KERNELS)} for overlap runs"
             )
         self.kernel = kernel
         self.overlap = overlap
@@ -375,9 +374,16 @@ class DistributedSimulation:
             comm = FaultyComm(comm, fault_plan)
             comm.step = step0
         ctx = make_context(self.system, self.params)
+        compile_seconds = 0.0
+        if self.kernel in COMPILED_RUNGS:
+            # Compile/warm once per rank *before* the timed loop starts, so
+            # JIT or dlopen cost never pollutes the per-step timings.
+            from repro.core.kernels import compiled
+
+            compile_seconds = compiled.warmup(ctx, dim=self.dim)
         phi_kernel = get_phi_kernel(self.kernel)
         mu_kernel = get_mu_kernel(self.kernel)
-        flags = _KERNEL_FLAGS.get(self.kernel)
+        split = get_split_mu_kernel(self.kernel)
         owned = [b for b in self.forest.blocks if self.owner[b.id] == comm.rank]
 
         tree = events = heartbeat = registry = None
@@ -386,6 +392,13 @@ class DistributedSimulation:
             from repro.telemetry.timing import TimingTree
 
             tree = TimingTree()
+            if compile_seconds:
+                tree.record("compile", compile_seconds)
+            if hasattr(comm, "attach_timing"):
+                # Process backend: time the pipe control-message phases
+                # (send/recv/ack) under comm/pipe so the fig7 RunReport
+                # quantifies transport overhead.
+                comm.attach_timing(tree)
             events = telemetry.open_events(comm.rank)
             registry = MetricsRegistry()
             cells_owned = sum(int(np.prod(b.shape)) for b in owned)
@@ -402,7 +415,7 @@ class DistributedSimulation:
                 comm, steps, phi0, mu0, t0=t0, step0=step0,
                 fault_plan=fault_plan, guard=guard,
                 ctx=ctx, phi_kernel=phi_kernel, mu_kernel=mu_kernel,
-                flags=flags, owned=owned, tree=tree, events=events,
+                split=split, owned=owned, tree=tree, events=events,
                 heartbeat=heartbeat, registry=registry,
                 shard_store=shard_store, checkpoint_every=checkpoint_every,
             )
@@ -471,7 +484,7 @@ class DistributedSimulation:
 
     def _rank_loop(self, comm, steps: int, phi0, mu0, *,
                    t0: float, step0: int, fault_plan, guard: bool,
-                   ctx, phi_kernel, mu_kernel, flags, owned,
+                   ctx, phi_kernel, mu_kernel, split, owned,
                    tree, events, heartbeat, registry,
                    shard_store=None, checkpoint_every=None):
 
@@ -599,12 +612,13 @@ class DistributedSimulation:
                     tree.record("compute/phi", _pc() - mark)
                 if mu_ghosts_stale:
                     exchange(mu_fields, "src", self.mu_bc, 3000, timer_mu)
+                mu_local, mu_neighbor = split
                 mark = _pc() if tree is not None else 0.0
                 for b in owned:
                     t_old, t_new = temps[b.id]
-                    mu_fields[b.id].interior_dst[...] = mu_step_local_impl(
+                    mu_fields[b.id].interior_dst[...] = mu_local(
                         ctx, mu_fields[b.id].src, phi_fields[b.id].src,
-                        phi_fields[b.id].dst, t_old, t_new, **flags,
+                        phi_fields[b.id].dst, t_old, t_new,
                     )
                 if tree is not None:
                     tree.record("compute/mu_local", _pc() - mark)
@@ -612,10 +626,9 @@ class DistributedSimulation:
                 mark = _pc() if tree is not None else 0.0
                 for b in owned:
                     t_old, _ = temps[b.id]
-                    mu_fields[b.id].interior_dst[...] = mu_step_neighbor_impl(
+                    mu_fields[b.id].interior_dst[...] = mu_neighbor(
                         ctx, mu_fields[b.id].interior_dst, mu_fields[b.id].src,
                         phi_fields[b.id].src, phi_fields[b.id].dst, t_old,
-                        **flags,
                     )
                 if tree is not None:
                     tree.record("compute/mu_neighbor", _pc() - mark)

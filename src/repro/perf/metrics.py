@@ -35,13 +35,19 @@ class KernelRate(float):
         per-call wall time statistics over the samples,
     ``noise``
         relative spread ``seconds_std / seconds_min`` — the usual
-        benchmark-stability indicator (0 for a single sample).
+        benchmark-stability indicator (0 for a single sample),
+    ``warmup_seconds``
+        wall time of the untimed warm-up call that preceded calibration
+        (for a JIT/compiled kernel this is where compilation lands, so
+        it never pollutes the rate samples).
     """
 
-    def __new__(cls, value: float, *, samples: list, calls_per_repeat: int):
+    def __new__(cls, value: float, *, samples: list, calls_per_repeat: int,
+                warmup_seconds: float = 0.0):
         self = super().__new__(cls, value)
         self.repeats = len(samples)
         self.calls_per_repeat = calls_per_repeat
+        self.warmup_seconds = warmup_seconds
         self.seconds_min = min(samples)
         self.seconds_mean = statistics.fmean(samples)
         self.seconds_median = statistics.median(samples)
@@ -64,6 +70,7 @@ class KernelRate(float):
             "seconds_median": self.seconds_median,
             "seconds_std": self.seconds_std,
             "noise": self.noise,
+            "warmup_seconds": self.warmup_seconds,
         }
 
 
@@ -76,24 +83,32 @@ def measure_kernel_rate(
 ) -> KernelRate:
     """Measure the MLUP/s of a zero-argument kernel invocation.
 
-    The batch size is auto-ranged like :mod:`timeit`: starting from one
-    call per batch, the batch grows geometrically until a single batch
-    meets the per-sample time target ``min_time / max_repeats``, then
-    batches are sampled until *min_time* of wall time accumulates (or
-    *max_repeats* samples are taken).  The previous calibration derived
-    the repeat count from the *warm-up* call and capped it at
-    *max_repeats* — for a fast kernel (whose cold first call is also far
-    slower than steady state) that measured microseconds of wall time
-    against a *min_time* of a quarter second, so the result was
-    dominated by timer noise.
+    One explicit **untimed warm-up call** runs first; its wall time is
+    recorded as ``warmup_seconds`` but never enters calibration or the
+    rate samples.  A cold first call is systematically slower than
+    steady state (cache/allocator effects for the NumPy rungs, JIT or
+    ``dlopen`` cost for the compiled rungs — potentially *orders of
+    magnitude*), and the previous scheme let it seed the auto-range, so
+    a compiled kernel calibrated against its own compilation time.
+
+    The batch size is then auto-ranged like :mod:`timeit`: starting from
+    one call per batch, the batch grows geometrically until a single
+    batch meets the per-sample time target ``min_time / max_repeats``,
+    then batches are sampled until *min_time* of wall time accumulates
+    (or *max_repeats* samples are taken).
 
     Returns a :class:`KernelRate`: a float (MLUP/s of the **median**
     sample, robust against scheduler hiccups) that also exposes
-    min/mean/std per-call seconds and the relative ``noise``.
+    min/mean/std per-call seconds, the relative ``noise`` and
+    ``warmup_seconds``.
     """
+    t0 = time.perf_counter()
+    fn()
+    warmup_seconds = time.perf_counter() - t0
+
     target = min_time / max_repeats
     calls = 1
-    while True:  # calibration batches double as warm-up
+    while True:  # auto-range the batch size on warm steady-state calls
         t0 = time.perf_counter()
         for _ in range(calls):
             fn()
@@ -111,4 +126,5 @@ def measure_kernel_rate(
         samples.append(dt / calls)
         total += dt
     rate = mlups(cells, statistics.median(samples))
-    return KernelRate(rate, samples=samples, calls_per_repeat=calls)
+    return KernelRate(rate, samples=samples, calls_per_repeat=calls,
+                      warmup_seconds=warmup_seconds)

@@ -132,6 +132,14 @@ class RankTransport:
         Large non-array object, pickled into a segment.
     ``("ack", seq)``
         Receiver consumed segment *seq*; the sender may reuse it.
+
+    With a :class:`~repro.telemetry.timing.TimingTree` attached
+    (:meth:`attach_timing`), the three pipe phases are timed under
+    ``comm/pipe``: ``send`` (control-message writes, including any block
+    on a full channel), ``recv`` (progress-engine drains, including poll
+    waits) and ``ack`` (segment-release notifications; fired from inside
+    a drain, so also contained in the ``recv`` total).  This is the
+    process-backend transport overhead the fig7 RunReport quantifies.
     """
 
     def __init__(self, rank: int, size: int, readers: dict, writers: dict,
@@ -152,11 +160,27 @@ class RankTransport:
         self._attached: dict[str, object] = {}  # segname -> SharedMemory
         self._field_segments: list = []         # owned Field backing segments
         self._closed = False
+        self._timing = None                     # optional TimingTree
+
+    def attach_timing(self, tree) -> None:
+        """Time the pipe phases (send/recv/ack) into *tree* under
+        ``comm/pipe``; ``None`` detaches and restores the untimed path."""
+        self._timing = tree
 
     # -- sending -------------------------------------------------------------
 
     def send(self, obj, dest: int, tag: int) -> None:
         """Send with thread-backend semantics: payload snapshot at call time."""
+        if self._timing is not None:
+            t0 = time.perf_counter()
+            try:
+                self._send(obj, dest, tag)
+            finally:
+                self._timing.record("comm/pipe/send", time.perf_counter() - t0)
+            return
+        self._send(obj, dest, tag)
+
+    def _send(self, obj, dest: int, tag: int) -> None:
         if not 0 <= dest < self.size:
             raise ValueError(f"invalid destination rank {dest}")
         self.stats.account_send(obj)
@@ -267,6 +291,16 @@ class RankTransport:
 
     def progress(self, block: bool) -> None:
         """Drain every readable control pipe, dispatching each message."""
+        if self._timing is not None:
+            t0 = time.perf_counter()
+            try:
+                self._progress(block)
+            finally:
+                self._timing.record("comm/pipe/recv", time.perf_counter() - t0)
+            return
+        self._progress(block)
+
+    def _progress(self, block: bool) -> None:
         if not self._readers:
             if block:
                 time.sleep(_POLL)
@@ -332,7 +366,14 @@ class RankTransport:
             _, source, _tag, seq, name, nbytes = msg
             shm = self._attach(name)
             payload = pickle.loads(bytes(shm.buf[:nbytes]))
-        self._post(source, ("ack", seq))
+        if self._timing is not None:
+            t0 = time.perf_counter()
+            try:
+                self._post(source, ("ack", seq))
+            finally:
+                self._timing.record("comm/pipe/ack", time.perf_counter() - t0)
+        else:
+            self._post(source, ("ack", seq))
         return payload
 
     def _attach(self, name: str):
@@ -487,6 +528,10 @@ class ProcessCommunicator(Communicator):
     @property
     def stats(self) -> CommStats:
         return self._transport.stats
+
+    def attach_timing(self, tree) -> None:
+        """Time the transport's pipe phases into *tree* (``comm/pipe/*``)."""
+        self._transport.attach_timing(tree)
 
     def field_allocator(self):
         """Shared-memory array allocator for rank-local Field buffers."""

@@ -11,7 +11,7 @@ import threading
 import numpy as np
 import pytest
 
-from repro.core.kernels import make_context
+from repro.core.kernels import COMPILED_RUNGS, make_context, rung_available
 from repro.core.kernels.api import SCRATCH_MAX_ENTRIES
 from repro.core.parameters import PhaseFieldParameters
 from repro.thermo.system import TernaryEutecticSystem
@@ -61,6 +61,106 @@ class TestCache:
         ctx.get_scratch("overflow", (2,))
         assert ctx.get_scratch("k0", (2,)) is first  # survived eviction
         assert len(ctx._scratch) <= SCRATCH_MAX_ENTRIES
+
+
+_COMPILED = [
+    pytest.param(
+        r,
+        marks=pytest.mark.skipif(
+            not rung_available(r),
+            reason="no compiled kernel backend available",
+        ),
+    )
+    for r in COMPILED_RUNGS
+]
+
+
+class TestCompiledRungs:
+    """Compiled kernels must be safe alongside the scratch cache.
+
+    They allocate all temporaries inside the compiled loop (per
+    cell/column for ``parallel=True`` safety) and never touch
+    ``ctx.get_scratch`` — so they neither claim thread ownership nor
+    perturb the LRU state that the NumPy rungs depend on.
+    """
+
+    @pytest.mark.parametrize("rung", _COMPILED)
+    def test_no_scratch_ownership_claimed(self, ctx, rung):
+        from repro.core.kernels import get_mu_kernel, get_phi_kernel
+        from repro.core.scenarios import make_scenario
+
+        phi, mu, tg, system, params = make_scenario(
+            "interface", (4, 4, 6), seed=1
+        )
+        ctx2 = make_context(system, params)
+        out = get_phi_kernel(rung)(ctx2, phi, mu, tg)
+        phi_dst = phi.copy()
+        phi_dst[(slice(None),) + (slice(1, -1),) * 3] = out
+        get_mu_kernel(rung)(ctx2, mu, phi, phi_dst, tg, tg - 0.01)
+        assert ctx2._scratch_owner is None
+        assert len(ctx2._scratch) == 0
+
+    @pytest.mark.parametrize("rung", _COMPILED)
+    def test_usable_from_thread_that_does_not_own_scratch(self, ctx, rung):
+        """A compiled kernel may run on a context whose scratch is owned
+        by another live thread (it never calls get_scratch); the NumPy
+        rungs would raise here."""
+        from repro.core.kernels import get_phi_kernel
+        from repro.core.scenarios import make_scenario
+
+        phi, mu, tg, system, params = make_scenario(
+            "interface", (4, 4, 6), seed=1
+        )
+        ctx2 = make_context(system, params)
+        ctx2.get_scratch("owner-marker", (2,))  # main thread owns scratch
+        results: list = []
+        errors: list = []
+
+        def worker():
+            try:
+                results.append(get_phi_kernel(rung)(ctx2, phi, mu, tg))
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert not errors
+        ref = get_phi_kernel(rung)(ctx2, phi, mu, tg)
+        np.testing.assert_array_equal(results[0], ref)
+
+    @pytest.mark.parametrize("rung", _COMPILED)
+    def test_concurrent_threads_agree(self, rung):
+        """parallel=True safety: simultaneous invocations on separate
+        contexts produce identical results (no shared mutable state)."""
+        from repro.core.kernels import get_phi_kernel
+        from repro.core.scenarios import make_scenario
+
+        phi, mu, tg, system, params = make_scenario(
+            "interface", (4, 4, 6), seed=5
+        )
+        kernel = get_phi_kernel(rung)
+        ref = kernel(make_context(system, params), phi, mu, tg)
+        n = 4
+        outs: list = [None] * n
+        start = threading.Barrier(n)
+
+        def worker(i, ctx_i):
+            start.wait()
+            outs[i] = kernel(ctx_i, phi, mu, tg)
+
+        threads = [
+            threading.Thread(
+                target=worker, args=(i, make_context(system, params))
+            )
+            for i in range(n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for i in range(n):
+            np.testing.assert_array_equal(outs[i], ref)
 
 
 class TestOwnership:

@@ -10,15 +10,31 @@ import numpy as np
 import pytest
 
 from repro.core.kernels import (
+    COMPILED_RUNGS,
     LADDER,
     get_mu_kernel,
     get_phi_kernel,
     make_context,
+    rung_available,
 )
 from repro.core.scenarios import SCENARIOS, fill_ghosts_periodic, make_scenario
 
 SHAPE = (5, 4, 9)
-RUNGS = [r for r in LADDER if r != "reference"]
+ALL_RUNGS = [r for r in LADDER if r != "reference"]
+#: Parametrization list: compiled rungs are marked skip (not silently
+#: dropped) when no backend (numba or a C toolchain + cffi) is usable.
+RUNGS = [
+    pytest.param(
+        r,
+        marks=pytest.mark.skipif(
+            r in COMPILED_RUNGS and not rung_available(r),
+            reason="no compiled kernel backend available",
+        ),
+    )
+    for r in ALL_RUNGS
+]
+#: Loop list for the non-parametrized tests.
+AVAILABLE_RUNGS = [r for r in ALL_RUNGS if rung_available(r)]
 
 
 @pytest.fixture(scope="module", params=SCENARIOS)
@@ -57,7 +73,7 @@ def test_phi_preserves_simplex(scenario):
     from repro.core.simplex import in_simplex
 
     s = scenario
-    for rung in RUNGS:
+    for rung in AVAILABLE_RUNGS:
         out = get_phi_kernel(rung)(s["ctx"], s["phi"], s["mu"], s["tg"])
         assert in_simplex(out, tol=1e-9).all(), rung
 
@@ -83,7 +99,14 @@ def test_unknown_kernel_name_raises():
 def test_ladder_lists_all_rungs():
     assert set(LADDER) == {
         "reference", "basic", "fused", "tz", "buffered", "shortcut",
+        "compiled", "compiled_shortcuts",
     }
+    assert set(COMPILED_RUNGS) <= set(LADDER)
+    # NumPy rungs are available everywhere, whatever the environment
+    for rung in LADDER:
+        if rung not in COMPILED_RUNGS:
+            assert rung_available(rung), rung
+    assert not rung_available("turbo")
 
 
 def test_ladder_equivalent_with_moving_window():
@@ -111,7 +134,7 @@ def test_ladder_equivalent_with_moving_window():
 
     ref = run("reference")
     assert ref.moving_window.total_shift > 0  # shifts actually happened
-    for rung in RUNGS:
+    for rung in AVAILABLE_RUNGS:
         sim = run(rung)
         assert sim.moving_window.total_shift == ref.moving_window.total_shift
         assert sim.z_offset == ref.z_offset
@@ -130,13 +153,13 @@ def test_2d_kernels_match():
     phi, mu, tg, system, params = make_scenario("interface", (7, 12), seed=4)
     ctx = make_context(system, params)
     ref = get_phi_kernel("reference")(ctx, phi, mu, tg)
-    for rung in RUNGS:
+    for rung in AVAILABLE_RUNGS:
         out = get_phi_kernel(rung)(ctx, phi, mu, tg)
         np.testing.assert_allclose(out, ref, atol=1e-11, err_msg=rung)
     phi_dst = phi.copy()
     phi_dst[(slice(None),) + (slice(1, -1),) * 2] = ref
     fill_ghosts_periodic(phi_dst, 2)
     ref_mu = get_mu_kernel("reference")(ctx, mu, phi, phi_dst, tg, tg - 0.01)
-    for rung in RUNGS:
+    for rung in AVAILABLE_RUNGS:
         out = get_mu_kernel(rung)(ctx, mu, phi, phi_dst, tg, tg - 0.01)
         np.testing.assert_allclose(out, ref_mu, atol=1e-11, err_msg=rung)

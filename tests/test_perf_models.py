@@ -278,4 +278,23 @@ class TestMetrics:
         assert set(d) == {
             "mlups", "repeats", "calls_per_repeat", "seconds_min",
             "seconds_mean", "seconds_median", "seconds_std", "noise",
+            "warmup_seconds",
         }
+
+    def test_measure_kernel_rate_untimed_warmup(self):
+        # the first (cold) call must be excluded from calibration and
+        # samples; its cost is reported separately as warmup_seconds
+        state = {"calls": 0}
+
+        def kernel():
+            state["calls"] += 1
+            if state["calls"] == 1:
+                time.sleep(0.05)  # "compilation" on first call
+
+        rate = measure_kernel_rate(
+            kernel, 1000, min_time=0.02, max_repeats=10
+        )
+        assert rate.warmup_seconds >= 0.05
+        # cold cost absent from the timed samples and from the autorange
+        assert rate.seconds_mean < 0.05
+        assert rate.as_dict()["warmup_seconds"] == rate.warmup_seconds
