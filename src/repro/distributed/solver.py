@@ -400,6 +400,10 @@ class DistributedSimulation:
                 # quantifies transport overhead.
                 comm.attach_timing(tree)
             events = telemetry.open_events(comm.rank)
+            if hasattr(comm, "attach_events"):
+                # Process backend: route transport degradation and
+                # shared-memory reclamation events into the rank's log.
+                comm.attach_events(events)
             registry = MetricsRegistry()
             cells_owned = sum(int(np.prod(b.shape)) for b in owned)
             heartbeat = Heartbeat(
@@ -537,8 +541,14 @@ class DistributedSimulation:
         dt = self.params.dt
         time_now = t0
         mu_ghosts_stale = False
+        note_progress = getattr(comm, "note_progress", None)
         for local_step in range(steps):
             global_step = step0 + local_step
+            if note_progress is not None:
+                # Feed the liveness watchdog even on steps with little
+                # communication: one tick per step keeps a busy rank
+                # distinguishable from a hung one.
+                note_progress()
             if fault_plan is not None:
                 comm.step = global_step
                 for kind in ("rank_kill", "kill_rank"):
@@ -556,6 +566,33 @@ class DistributedSimulation:
                         raise InjectedFault(
                             kind, step=global_step, rank=comm.rank
                         )
+                fault = fault_plan.fires(
+                    "rank_slow", step=global_step, rank=comm.rank
+                )
+                if fault is not None:
+                    # Transient straggler: the rank pauses but keeps its
+                    # heartbeat alive, so the watchdog must NOT kill it.
+                    if events is not None:
+                        events.emit(
+                            "fault", "WARNING", fault="rank_slow",
+                            step=global_step, seconds=fault.delay,
+                        )
+                    _time.sleep(fault.delay)
+                fault = fault_plan.fires(
+                    "rank_stall", step=global_step, rank=comm.rank
+                )
+                if fault is not None:
+                    # Permanent hang: freeze this rank's progress until
+                    # a peer deadline or the watchdog contains it (the
+                    # delay is only a safety cap for undeadlined runs).
+                    from repro.resilience.faults import stall
+
+                    if events is not None:
+                        events.emit(
+                            "fault", "ERROR", fault="rank_stall",
+                            step=global_step, cap_seconds=fault.delay,
+                        )
+                    stall(comm, fault.delay)
                 fault = fault_plan.fires(
                     "nan_inject", step=global_step, rank=comm.rank
                 )

@@ -32,7 +32,7 @@ from repro.resilience.errors import (
     InjectedFault,
     InvariantViolation,
 )
-from repro.resilience.faults import FAULT_KINDS, Fault, FaultPlan, FaultyComm
+from repro.resilience.faults import FAULT_KINDS, Fault, FaultPlan, FaultyComm, stall
 from repro.resilience.guards import (
     GuardedSimulation,
     StateGuard,
@@ -53,6 +53,7 @@ __all__ = [
     "Fault",
     "FaultPlan",
     "FaultyComm",
+    "stall",
     "GuardedSimulation",
     "StateGuard",
     "attach_watchdog",

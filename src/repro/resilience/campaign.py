@@ -32,7 +32,7 @@ from repro.resilience.errors import (
     InvariantViolation,
 )
 from repro.resilience.store import ShardedCheckpointStore
-from repro.simmpi.comm import RankFailure, RemoteError
+from repro.simmpi.comm import RankFailure, RankTimeout, RemoteError
 
 __all__ = ["CampaignResult", "run_campaign"]
 
@@ -66,12 +66,14 @@ class CampaignResult:
 def _lost_ranks(exc) -> list[int]:
     """Ranks permanently lost in *exc* (empty for transient failures).
 
-    ``kill_rank`` injected faults and :class:`RankFailure` model node
-    death — the rank will not come back, so the campaign must shrink.
-    ``rank_kill`` (transient crash) and everything else restart at the
-    same size.
+    ``kill_rank`` / ``rank_stall`` injected faults and
+    :class:`RankFailure` (including :class:`RankTimeout` hang verdicts)
+    model node death — the rank will not come back, so the campaign must
+    shrink.  ``rank_kill`` (transient crash) and everything else restart
+    at the same size.
     """
-    if isinstance(exc, InjectedFault) and exc.kind == "kill_rank":
+    if isinstance(exc, InjectedFault) and exc.kind in ("kill_rank",
+                                                       "rank_stall"):
         rank = exc.rank if exc.rank is not None else getattr(
             exc, "simmpi_rank", None
         )
@@ -127,6 +129,7 @@ def run_campaign(
     checkpoints_written = 0
     rank_failures = 0
     shrinks = 0
+    hangs_detected = 0
     restart_reasons: list[str] = []
 
     events = None
@@ -203,6 +206,16 @@ def run_campaign(
                 "campaign chunk failed at step %d (%r); restart %d/%d",
                 step_now, exc, restarts, max_restarts,
             )
+            if isinstance(exc, RankTimeout):
+                # Deadline/watchdog containment verdict: a hung rank was
+                # detected and converted into a recoverable failure.
+                hangs_detected += 1
+                if events is not None:
+                    events.emit(
+                        "hang_detected", "ERROR", step=step_now,
+                        op=exc.op, timeout=exc.timeout,
+                        ranks=list(exc.failed_ranks),
+                    )
             if restarts > max_restarts:
                 if events is not None:
                     events.emit(
@@ -311,7 +324,7 @@ def run_campaign(
             dsim, telemetry, events, result, counters_total,
             wall=_time.perf_counter() - wall0, guard=guard,
             fault_plan=fault_plan, restart_reasons=restart_reasons,
-            elastic_stats=elastic_stats,
+            elastic_stats=elastic_stats, hangs_detected=hangs_detected,
         )
     return result
 
@@ -319,7 +332,7 @@ def run_campaign(
 def _finalize_campaign_telemetry(
     dsim, telemetry, events, result: CampaignResult, counters: dict, *,
     wall: float, guard: bool, fault_plan, restart_reasons: list[str],
-    elastic_stats: dict | None = None,
+    elastic_stats: dict | None = None, hangs_detected: int = 0,
 ) -> None:
     from repro.telemetry.report import build_run_report, write_run_report
 
@@ -340,6 +353,25 @@ def _finalize_campaign_telemetry(
             ],
             "pending": len(fault_plan.pending()),
         }
+    def _count_kind(kind: str) -> int:
+        return sum(1 for r in merged_events if r.get("kind") == kind)
+
+    from repro.simmpi.deadline import DeadlinePolicy
+    from repro.simmpi.liveness import WatchdogConfig
+
+    liveness_stats = {
+        "hangs_detected": hangs_detected,
+        "stalls_injected": (
+            0 if fault_plan is None else sum(
+                1 for f, _s, _r in fault_plan.fired()
+                if f.kind in ("rank_stall", "rank_slow")
+            )
+        ),
+        "transport_degradations": _count_kind("transport_degraded"),
+        "shm_reclaimed": _count_kind("shm_reclaimed"),
+        "deadlines_enabled": DeadlinePolicy.from_env().enabled,
+        "watchdog_enabled": WatchdogConfig.from_env().enabled,
+    }
     report = build_run_report(
         run_id=telemetry.run_id,
         config={
@@ -376,6 +408,7 @@ def _finalize_campaign_telemetry(
             ),
         },
         elastic_stats=elastic_stats,
+        liveness_stats=liveness_stats,
     )
     result.report = report
     path = telemetry.report_path()

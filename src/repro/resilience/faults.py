@@ -2,11 +2,12 @@
 
 A :class:`FaultPlan` is a seeded, reproducible list of faults that the
 guarded drivers consult at well-defined points: the start of each time
-step (``rank_kill`` / ``kill_rank`` / ``nan_inject``), each outgoing
-message (``msg_drop`` / ``msg_corrupt`` / ``msg_delay``) and each
-checkpoint write (``ckpt_truncate`` after commit; ``io_enospc`` /
-``io_torn_write`` during the write, exercised through the sharded
-store's retry layer).  Every fault fires **once** — the whole point of
+step (``rank_kill`` / ``kill_rank`` / ``rank_stall`` / ``rank_slow`` /
+``nan_inject``), each outgoing message (``msg_drop`` / ``msg_corrupt``
+/ ``msg_delay``), each received staged segment (``ack_drop``, process
+backend) and each checkpoint write (``ckpt_truncate`` after commit;
+``io_enospc`` / ``io_torn_write`` during the write, exercised through
+the sharded store's retry layer).  Every fault fires **once** — the whole point of
 recovery testing is that the retry after a restart runs clean — and the
 plan records what fired, so a failing test can print the exact schedule
 (and seed) needed to reproduce it.  Scheduling the same fault K times at
@@ -24,7 +25,8 @@ import numpy as np
 
 from repro.resilience.errors import InjectedFault
 
-__all__ = ["FAULT_KINDS", "Fault", "FaultPlan", "FaultyComm", "poison"]
+__all__ = ["FAULT_KINDS", "Fault", "FaultPlan", "FaultyComm", "poison",
+           "stall"]
 
 logger = logging.getLogger(__name__)
 
@@ -33,10 +35,20 @@ FAULT_KINDS = (
                       # crash; the campaign restarts at the same size)
     "kill_rank",      # the rank is lost permanently (node death); an
                       # elastic campaign shrinks to the survivors
+    "rank_stall",     # the rank hangs: it stops communicating without
+                      # raising, for up to `delay` seconds (permanent from
+                      # the peers' view; deadline/watchdog must contain it
+                      # and the elastic campaign shrinks to the survivors)
+    "rank_slow",      # the rank pauses for `delay` seconds then continues
+                      # (transient OS-jitter analog; must be harmless
+                      # below the hang threshold)
     "msg_drop",       # a ghost message is lost; the sender detects the
                       # failed transfer and aborts (walltime-kill analog)
     "msg_corrupt",    # a ghost message arrives NaN-poisoned
     "msg_delay",      # a ghost message is delivered late (must be harmless)
+    "ack_drop",       # the process transport loses one segment ack: the
+                      # sender's channel slot leaks and it eventually
+                      # blocks (silent-NIC analog; deadline-contained)
     "ckpt_truncate",  # a finished checkpoint file is cut short on disk
     "nan_inject",     # a field value blows up to NaN mid-run
     "io_enospc",      # a checkpoint write fails with ENOSPC (full disk)
@@ -58,6 +70,9 @@ class Fault:
     step: int
     rank: int | None = None
     fraction: float = 0.5
+    #: Extra latency in seconds: the delivery lag for ``msg_delay``, the
+    #: pause for ``rank_slow``, and the stall *cap* for ``rank_stall``
+    #: (a safety bound so an uncontained stall still ends eventually).
     delay: float = 0.005
 
     def __post_init__(self):
@@ -75,6 +90,12 @@ class FaultPlan:
         self.seed = seed
         self._fired: dict[int, tuple] = {}
         self._lock = threading.Lock()
+        #: Optional ``callback((kind, step, rank))`` invoked when a fault
+        #: fires.  The process backend uses it to mirror fires from a
+        #: forked child copy of the plan back to the parent's copy (via
+        #: :meth:`mark_fired`), so a campaign restart does not re-fire
+        #: faults that already happened in a killed child.
+        self.on_fire = None
 
     @classmethod
     def random(cls, seed: int, *, steps: int, n_ranks: int = 1,
@@ -99,6 +120,7 @@ class FaultPlan:
         Thread-safe: simulated ranks race for rank-wildcard faults, but
         each fault is claimed exactly once.
         """
+        fault = None
         with self._lock:
             for i, f in enumerate(self.faults):
                 if i in self._fired or f.kind != kind or f.step != step:
@@ -109,8 +131,36 @@ class FaultPlan:
                 logger.warning(
                     "injecting fault %s at step %d on rank %s", kind, step, rank
                 )
-                return f
-        return None
+                fault = f
+                break
+        if fault is not None and self.on_fire is not None:
+            try:
+                self.on_fire((kind, step, rank))
+            except Exception:  # notification must never mask the fault
+                logger.debug("fault on_fire notification failed", exc_info=True)
+        return fault
+
+    def mark_fired(self, kind: str, step: int, rank: int | None = None) -> bool:
+        """Record that a matching fault fired *elsewhere* (no injection).
+
+        Claims the first pending fault matching ``(kind, step[, rank])``
+        — the bookkeeping half of the process-backend fire
+        notifications (see :attr:`on_fire`).  Returns ``True`` when a
+        fault was claimed.
+        """
+        with self._lock:
+            for i, f in enumerate(self.faults):
+                if i in self._fired or f.kind != kind or f.step != step:
+                    continue
+                if f.rank is not None and rank is not None and f.rank != rank:
+                    continue
+                self._fired[i] = (step, rank)
+                logger.debug(
+                    "fault %s at step %d on rank %s marked fired remotely",
+                    kind, step, rank,
+                )
+                return True
+        return False
 
     def fired(self) -> list[tuple[Fault, int, int | None]]:
         """Faults that fired, with the (step, rank) they fired at."""
@@ -131,6 +181,33 @@ class FaultPlan:
                 + ("" if f.rank is None else f" rank {f.rank}")
             )
         return "\n".join(lines)
+
+
+def stall(comm, max_seconds: float, poll: float = 0.05) -> None:
+    """Simulate a hung rank: stop communicating without raising.
+
+    Spins until the world is aborted (peers' deadlines fired, or the
+    watchdog killed this process before this returns at all) or until
+    the *max_seconds* safety cap elapses — a stall must not hang the
+    host forever even when no containment layer is armed.  Always
+    raises: :class:`~repro.simmpi.comm.RemoteError` when the abort was
+    observed (a *secondary* failure, so the peer's typed
+    :class:`~repro.simmpi.comm.RankTimeout` wins error selection), or
+    :class:`InjectedFault` when the cap expired first (the campaign
+    treats an expired ``rank_stall`` as a permanent rank loss).
+    """
+    from repro.simmpi.comm import RemoteError
+
+    t0 = _time.monotonic()
+    aborted = getattr(comm, "aborted", None)
+    while _time.monotonic() - t0 < max_seconds:
+        if aborted is not None and aborted():
+            raise RemoteError(
+                f"rank {comm.rank} stalled for "
+                f"{_time.monotonic() - t0:.2f}s until peers aborted"
+            )
+        _time.sleep(poll)
+    raise InjectedFault("rank_stall", rank=getattr(comm, "rank", None))
 
 
 def poison(arr: np.ndarray) -> None:
@@ -157,7 +234,25 @@ class FaultyComm:
     def __init__(self, comm, plan: FaultPlan):
         self._comm = comm
         self._plan = plan
-        self.step = 0
+        self._step = 0
+        # Process backend: hand the plan to the transport so it can
+        # fire receive-side faults (ack_drop) the proxy never sees.
+        transport = getattr(comm, "_transport", None)
+        if transport is not None and hasattr(transport, "fault_plan"):
+            transport.fault_plan = plan
+            transport.fault_step = 0
+
+    @property
+    def step(self) -> int:
+        """Simulation clock; the driver advances it once per time step."""
+        return self._step
+
+    @step.setter
+    def step(self, value: int) -> None:
+        self._step = value
+        transport = getattr(self._comm, "_transport", None)
+        if transport is not None and hasattr(transport, "fault_step"):
+            transport.fault_step = value
 
     @property
     def rank(self) -> int:
@@ -167,7 +262,7 @@ class FaultyComm:
     def size(self) -> int:
         return self._comm.size
 
-    def _outgoing(self, obj):
+    def _outgoing(self, obj, collective: bool = False):
         """Apply any scheduled message fault to an outgoing payload."""
         if self._plan.fires("msg_drop", step=self.step, rank=self.rank):
             # the transfer fails outright; the sending rank notices and
@@ -178,48 +273,95 @@ class FaultyComm:
         if fault is not None and isinstance(obj, np.ndarray):
             obj = np.array(obj, dtype=float)
             obj.flat[::3] = np.nan
-        fault = self._plan.fires("msg_delay", step=self.step, rank=self.rank)
-        if fault is not None:
-            _time.sleep(fault.delay)
+        if collective:
+            # A collective contribution leaving late IS late delivery:
+            # the caller blocks inside the collective until the message
+            # lands anyway, so sleeping here delays nothing else.
+            fault = self._plan.fires("msg_delay", step=self.step,
+                                     rank=self.rank)
+            if fault is not None:
+                _time.sleep(fault.delay)
         return obj
+
+    def _delayed_send(self, obj, dest: int, tag: int) -> bool:
+        """Late-*delivery* model of ``msg_delay`` for point-to-point.
+
+        The sender returns immediately (the fault must stay harmless —
+        delaying the whole sending rank would be a stall, not a slow
+        message); a daemon timer injects the snapshot into the peer's
+        matching machinery *delay* seconds later.  Returns ``True``
+        when the send was taken over.
+        """
+        fault = self._plan.fires("msg_delay", step=self.step, rank=self.rank)
+        if fault is None:
+            return False
+        payload = obj.copy() if isinstance(obj, np.ndarray) else obj
+        transport = getattr(self._comm, "_transport", None)
+        if transport is not None and hasattr(transport, "send_inline"):
+            deliver = lambda: transport.send_inline(payload, dest, tag)  # noqa: E731
+        else:
+            comm = self._comm
+            deliver = lambda: comm.send(payload, dest, tag)  # noqa: E731
+
+        def fire():
+            try:
+                deliver()
+            except Exception:
+                # The world may be gone by delivery time; a late message
+                # into a dead run is exactly a message that never mattered.
+                logger.debug("delayed message delivery failed", exc_info=True)
+
+        timer = threading.Timer(fault.delay, fire)
+        timer.daemon = True
+        timer.start()
+        return True
 
     # -- point to point (blocking and non-blocking) ---------------------
 
     def send(self, obj, dest: int, tag: int = 0) -> None:
-        self._comm.send(self._outgoing(obj), dest, tag)
+        obj = self._outgoing(obj)
+        if self._delayed_send(obj, dest, tag):
+            return
+        self._comm.send(obj, dest, tag)
 
     def isend(self, obj, dest: int, tag: int = 0):
-        return self._comm.isend(self._outgoing(obj), dest, tag)
+        obj = self._outgoing(obj)
+        if self._delayed_send(obj, dest, tag):
+            from repro.simmpi.comm import Request
+
+            return Request(_result=None, _ready=True)
+        return self._comm.isend(obj, dest, tag)
 
     def sendrecv(self, sendobj, dest: int, source: int, sendtag: int = 0,
                  recvtag: int = -1):
-        return self._comm.sendrecv(
-            self._outgoing(sendobj), dest, source, sendtag, recvtag
-        )
+        sendobj = self._outgoing(sendobj)
+        if self._delayed_send(sendobj, dest, sendtag):
+            return self._comm.recv(source, recvtag)
+        return self._comm.sendrecv(sendobj, dest, source, sendtag, recvtag)
 
     # -- collectives (fault applies to this rank's contribution) --------
 
     def bcast(self, obj, root: int = 0):
         if self.rank == root:
-            obj = self._outgoing(obj)
+            obj = self._outgoing(obj, collective=True)
         return self._comm.bcast(obj, root)
 
     def gather(self, obj, root: int = 0):
-        return self._comm.gather(self._outgoing(obj), root)
+        return self._comm.gather(self._outgoing(obj, collective=True), root)
 
     def allgather(self, obj):
-        return self._comm.allgather(self._outgoing(obj))
+        return self._comm.allgather(self._outgoing(obj, collective=True))
 
     def scatter(self, objs, root: int = 0):
         if self.rank == root and objs is not None:
-            objs = [self._outgoing(o) for o in objs]
+            objs = [self._outgoing(o, collective=True) for o in objs]
         return self._comm.scatter(objs, root)
 
     def reduce(self, obj, op=None, root: int = 0):
-        return self._comm.reduce(self._outgoing(obj), op, root)
+        return self._comm.reduce(self._outgoing(obj, collective=True), op, root)
 
     def allreduce(self, obj, op=None):
-        return self._comm.allreduce(self._outgoing(obj), op)
+        return self._comm.allreduce(self._outgoing(obj, collective=True), op)
 
     def __getattr__(self, name):
         return getattr(self._comm, name)

@@ -28,7 +28,15 @@ Main entry points:
   schedule used by the mesh output pipeline.
 """
 
-from repro.simmpi.comm import Communicator, RankFailure, RemoteError, Request
+from repro.simmpi.comm import (
+    Communicator,
+    RankFailure,
+    RankTimeout,
+    RemoteError,
+    Request,
+)
+from repro.simmpi.deadline import Deadline, DeadlinePolicy
+from repro.simmpi.liveness import WatchdogConfig
 from repro.simmpi.runtime import run_spmd, run_spmd_elastic
 from repro.simmpi.cart import CartComm
 
@@ -37,9 +45,13 @@ BACKENDS = ("thread", "process")
 __all__ = [
     "BACKENDS",
     "Communicator",
+    "Deadline",
+    "DeadlinePolicy",
     "RankFailure",
+    "RankTimeout",
     "RemoteError",
     "Request",
+    "WatchdogConfig",
     "run_spmd",
     "run_spmd_elastic",
     "CartComm",

@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.simmpi.deadline import DeadlinePolicy
+
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
@@ -25,6 +27,7 @@ __all__ = [
     "CommStats",
     "RemoteError",
     "RankFailure",
+    "RankTimeout",
 ]
 
 ANY_SOURCE = -1
@@ -54,6 +57,44 @@ class RankFailure(RemoteError):
             f"peer rank(s) {list(self.failed_ranks)} failed; "
             "communicator revoked — shrink() to continue on survivors"
         )
+
+
+class RankTimeout(RankFailure):
+    """A blocking operation exceeded its configured deadline.
+
+    Raised instead of hanging when a :class:`~repro.simmpi.deadline.
+    DeadlinePolicy` bounds the operation (``REPRO_SIMMPI_TIMEOUT``) or
+    when the process-backend watchdog declares a rank hung.  Subclasses
+    :class:`RankFailure` so every containment path — world abort,
+    elastic shrink, campaign restart — treats a hang exactly like a
+    rank death; :attr:`failed_ranks` carries the blamed peer(s) (may be
+    empty when no specific peer can be identified).
+    """
+
+    def __init__(self, op: str, timeout: float, *, peers=()):
+        self.op = op
+        self.timeout = float(timeout)
+        self.failed_ranks = tuple(sorted(set(peers)))
+        blame = (
+            f" waiting on rank(s) {list(self.failed_ranks)}"
+            if self.failed_ranks else ""
+        )
+        RuntimeError.__init__(
+            self,
+            f"simmpi {op} exceeded its {self.timeout:.3g}s deadline"
+            f"{blame}; treating the stalled peer as failed",
+        )
+
+    def __reduce__(self):
+        # The keyword-only *peers* defeats the default exception pickle
+        # (args holds only the message); the process backend ships these
+        # over result pipes, so rebuild from the typed parts instead.
+        return (_rebuild_rank_timeout,
+                (self.op, self.timeout, self.failed_ranks))
+
+
+def _rebuild_rank_timeout(op, timeout, peers):
+    return RankTimeout(op, timeout, peers=peers)
 
 
 def _copy_payload(obj):
@@ -88,7 +129,7 @@ class _Mailbox:
             self._messages.append((source, tag, payload))
             self._cond.notify_all()
 
-    def get(self, source: int, tag: int, world: "_World"):
+    def get(self, source: int, tag: int, world: "_World", deadline=None):
         with self._cond:
             while True:
                 for i, (src, tg, payload) in enumerate(self._messages):
@@ -100,6 +141,8 @@ class _Mailbox:
                 dead = world.dead_ranks()
                 if dead:
                     raise RankFailure(dead)
+                if deadline is not None:
+                    deadline.check()
                 self._cond.wait(timeout=_POLL)
 
     def kick(self) -> None:
@@ -113,6 +156,69 @@ class _Mailbox:
                 (source in (ANY_SOURCE, src)) and (tag in (ANY_TAG, tg))
                 for src, tg, _ in self._messages
             )
+
+
+class _PollBarrier:
+    """Deadline-aware barrier that can never strand a rank.
+
+    Replaces :class:`threading.Barrier`, whose ``wait(timeout=...)``
+    *breaks* the barrier for everyone on a timeout — useless for
+    polling.  This one polls a condition variable every ``_POLL``
+    seconds, re-checking the world's failure/death flags and the
+    caller's deadline, so a revoked or shrunk world (or an expired
+    deadline) surfaces as a typed exception instead of an eternal wait.
+    """
+
+    def __init__(self, parties: int) -> None:
+        self.parties = parties
+        self._cond = threading.Condition()
+        self._count = 0
+        self._generation = 0
+        self._broken = False
+
+    def abort(self) -> None:
+        """Break the barrier; all current and future waits raise."""
+        with self._cond:
+            self._broken = True
+            self._cond.notify_all()
+
+    @property
+    def broken(self) -> bool:
+        return self._broken
+
+    def wait(self, world: "_World | None" = None, deadline=None) -> None:
+        with self._cond:
+            if self._broken:
+                self._raise_broken(world)
+            self._count += 1
+            if self._count >= self.parties:
+                self._count = 0
+                self._generation += 1
+                self._cond.notify_all()
+                return
+            generation = self._generation
+            while True:
+                self._cond.wait(timeout=_POLL)
+                if self._generation != generation:
+                    return
+                if self._broken:
+                    self._raise_broken(world)
+                if world is not None and (
+                    world.failed.is_set() or world.dead_ranks()
+                ):
+                    self._broken = True
+                    self._cond.notify_all()
+                    self._raise_broken(world)
+                if deadline is not None and deadline.expired():
+                    self._broken = True
+                    self._cond.notify_all()
+                    deadline.check()
+
+    def _raise_broken(self, world: "_World | None") -> None:
+        dead = world.dead_ranks() if world is not None else ()
+        if dead:
+            raise RankFailure(dead)
+        raise RemoteError("barrier broken by a failed peer")
 
 
 class _World:
@@ -132,7 +238,7 @@ class _World:
     def __init__(self, size: int) -> None:
         self.size = size
         self.mailboxes = [_Mailbox() for _ in range(size)]
-        self.barrier = threading.Barrier(size)
+        self.barrier = _PollBarrier(size)
         self.failed = threading.Event()
         self.stats = [CommStats() for _ in range(size)]
         self.dead: set[int] = set()
@@ -160,7 +266,8 @@ class _World:
         with self._shrink_cond:
             self._shrink_cond.notify_all()
 
-    def shrink_rendezvous(self, rank: int) -> tuple[list[int], "_World"]:
+    def shrink_rendezvous(self, rank: int,
+                          deadline=None) -> tuple[list[int], "_World"]:
         """Collective among survivors: agree on and build the sub-world.
 
         Blocks until every currently-live rank has arrived (ranks that
@@ -182,6 +289,8 @@ class _World:
                     self._shrink_result = (order, _World(len(order)))
                     self._shrink_cond.notify_all()
                     return self._shrink_result
+                if deadline is not None:
+                    deadline.check()
                 self._shrink_cond.wait(timeout=_POLL)
 
 
@@ -206,12 +315,22 @@ class Request:
 
 
 class Communicator:
-    """Rank-local view of the world, mimicking ``mpi4py.MPI.Comm``."""
+    """Rank-local view of the world, mimicking ``mpi4py.MPI.Comm``.
 
-    def __init__(self, world: _World, rank: int):
+    *deadlines* bounds the blocking operations (see
+    :mod:`repro.simmpi.deadline`); by default it is read from the
+    environment, which leaves every wait unbounded unless
+    ``REPRO_SIMMPI_TIMEOUT`` (or a per-op override) is set.
+    """
+
+    def __init__(self, world: _World, rank: int,
+                 deadlines: DeadlinePolicy | None = None):
         self._world = world
         self.rank = rank
         self.size = world.size
+        self.deadlines = (
+            DeadlinePolicy.from_env() if deadlines is None else deadlines
+        )
 
     # -- point to point ----------------------------------------------------
 
@@ -230,8 +349,11 @@ class Communicator:
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Blocking receive; returns the payload."""
+        deadline = self.deadlines.start(
+            "recv", peers=(source,) if source >= 0 else ()
+        )
         _, _, payload = self._world.mailboxes[self.rank].get(
-            source, tag, self._world
+            source, tag, self._world, deadline
         )
         self._world.stats[self.rank].recvs += 1
         return payload
@@ -255,22 +377,29 @@ class Communicator:
     # -- collectives (binomial trees over point-to-point) -------------------
 
     def barrier(self) -> None:
-        """Synchronize all ranks."""
-        while True:
-            try:
-                self._world.barrier.wait(timeout=None)
-                return
-            except threading.BrokenBarrierError:
-                dead = self._world.dead_ranks()
-                if dead:
-                    raise RankFailure(dead) from None
-                raise RemoteError("barrier broken by a failed peer") from None
+        """Synchronize all ranks.
+
+        The barrier polls (``_POLL`` cadence) rather than waiting
+        unboundedly, so a revoked/shrunk world — or an armed deadline
+        policy — can never strand a rank in an unkillable barrier.
+        """
+        self._world.barrier.wait(
+            self._world, deadline=self.deadlines.start("barrier")
+        )
 
     # -- failure containment -------------------------------------------------
 
     def failed_ranks(self) -> tuple[int, ...]:
         """Ranks of this world marked dead (empty while healthy)."""
         return self._world.dead_ranks()
+
+    def aborted(self) -> bool:
+        """True once this world is failed or revoked.
+
+        Cheap enough to poll from a long-running loop; fault-injection
+        stall loops use it to notice that peers gave up on this rank.
+        """
+        return self._world.failed.is_set() or bool(self._world.dead_ranks())
 
     def shrink(self) -> "Communicator":
         """Build a working sub-communicator from the surviving ranks.
@@ -282,8 +411,11 @@ class Communicator:
         — and the returned communicator has fresh mailboxes, barrier and
         statistics.  The old communicator stays revoked.
         """
-        order, new_world = self._world.shrink_rendezvous(self.rank)
-        return Communicator(new_world, order.index(self.rank))
+        order, new_world = self._world.shrink_rendezvous(
+            self.rank, deadline=self.deadlines.start("shrink")
+        )
+        return Communicator(new_world, order.index(self.rank),
+                            deadlines=self.deadlines)
 
     def bcast(self, obj, root: int = 0):
         """Binomial-tree broadcast from *root*."""

@@ -23,7 +23,7 @@ import logging
 import os
 import threading
 
-from repro.simmpi.comm import Communicator, RemoteError, _World
+from repro.simmpi.comm import Communicator, RankFailure, RemoteError, _World
 
 __all__ = ["run_spmd", "run_spmd_elastic", "run_spmd_resilient"]
 
@@ -87,6 +87,11 @@ def run_spmd(n_ranks: int, fn, *args, backend: str | None = None,
     )
     if primary is not None:
         raise primary
+    # Among secondary aborts, prefer a typed RankFailure (e.g. a
+    # RankTimeout naming the stalled peer) over a generic RemoteError.
+    failure = next((e for e in errors if isinstance(e, RankFailure)), None)
+    if failure is not None:
+        raise failure
     secondary = next((e for e in errors if e is not None), None)
     if secondary is not None:
         raise secondary

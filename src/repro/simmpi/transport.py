@@ -33,8 +33,12 @@ from __future__ import annotations
 import logging
 import os
 import pickle
+import re
+import threading
 import time
 import traceback
+import uuid
+import warnings
 from multiprocessing import connection as _mpc
 
 import numpy as np
@@ -44,9 +48,13 @@ from repro.simmpi.comm import (
     ANY_TAG,
     CommStats,
     Communicator,
+    RankFailure,
+    RankTimeout,
     RemoteError,
     _copy_payload,
 )
+from repro.simmpi.deadline import DeadlinePolicy
+from repro.simmpi.liveness import LivenessBeacon, RankMonitor, WatchdogConfig
 
 __all__ = [
     "CHANNEL_SLOTS",
@@ -55,6 +63,7 @@ __all__ = [
     "ProcessRequest",
     "RankTransport",
     "run_spmd_processes",
+    "sweep_orphaned_segments",
 ]
 
 logger = logging.getLogger(__name__)
@@ -74,6 +83,66 @@ _POLL = 0.05
 
 #: Parent-side grace period before surviving children are terminated.
 _JOIN_GRACE = 30.0
+
+#: Name prefix of owned shared-memory segments: ``repro-smm-<pid>-<id>``.
+#: Embedding the owner pid lets :func:`sweep_orphaned_segments` reclaim
+#: segments whose owner died without running teardown (crashed or
+#: watchdog-killed ranks of a previous run).
+_SEG_PREFIX = "repro-smm"
+_SEG_RE = re.compile(rf"^{_SEG_PREFIX}-(\d+)-")
+
+
+def _segment_name() -> str:
+    return f"{_SEG_PREFIX}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True
+    return True
+
+
+def sweep_orphaned_segments(directory: str = "/dev/shm"
+                            ) -> list[tuple[str, int]]:
+    """Reclaim shared-memory segments whose owning process is dead.
+
+    A hard-killed rank (watchdog, SIGKILL, node crash) never runs
+    :meth:`RankTransport.close`, so its staged payloads and field
+    buffers stay pinned in ``/dev/shm`` until the machine reboots —
+    which is precisely how repeated hang-containment eventually ENOSPCs
+    the segment pool.  This startup sweep unlinks every
+    ``repro-smm-<pid>-*`` segment whose *pid* no longer exists and
+    returns ``(name, pid)`` pairs for telemetry (one ``shm_reclaimed``
+    event each, emitted once a rank attaches its event log).
+    """
+    reclaimed: list[tuple[str, int]] = []
+    if not os.path.isdir(directory):
+        return reclaimed
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return reclaimed
+    for name in names:
+        match = _SEG_RE.match(name)
+        if match is None:
+            continue
+        pid = int(match.group(1))
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(directory, name))
+        except (FileNotFoundError, PermissionError, OSError):
+            continue
+        logger.warning(
+            "reclaimed orphaned shared-memory segment %s (owner pid %d "
+            "is dead)", name, pid,
+        )
+        reclaimed.append((name, pid))
+    return reclaimed
 
 
 def _matches(want_source: int, want_tag: int, source: int, tag: int) -> bool:
@@ -143,13 +212,17 @@ class RankTransport:
     """
 
     def __init__(self, rank: int, size: int, readers: dict, writers: dict,
-                 failed, barrier) -> None:
+                 failed, barrier,
+                 deadlines: DeadlinePolicy | None = None) -> None:
         self.rank = rank
         self.size = size
         self._readers = dict(readers)   # source rank -> read Connection
         self._writers = dict(writers)   # dest rank -> write Connection
         self._failed = failed           # mp.Event: world abort flag
         self._barrier = barrier         # mp.Barrier over all ranks
+        self.deadlines = (
+            DeadlinePolicy.from_env() if deadlines is None else deadlines
+        )
         self.stats = CommStats()
         self._held: list[tuple] = []            # arrived, not yet matched
         self._posted: list[_PostedRecv] = []    # posted, not yet arrived
@@ -161,11 +234,50 @@ class RankTransport:
         self._field_segments: list = []         # owned Field backing segments
         self._closed = False
         self._timing = None                     # optional TimingTree
+        #: Monotonic liveness counter: bumped by every send, every
+        #: dispatched incoming message and every solver step
+        #: (:meth:`note_progress`).  The watchdog reads it through the
+        #: heartbeat stream — frozen counter = hang suspect.  The stamp
+        #: records *when* (CLOCK_MONOTONIC, comparable across processes
+        #: on one host) the counter last moved, so the parent can order
+        #: freezes exactly instead of by quantized heartbeat arrival.
+        self.progress_count = 0
+        self.progress_stamp = time.monotonic()
+        #: Receive-side fault injection (set by FaultyComm): the plan is
+        #: consulted for ``ack_drop`` when a staged segment is consumed.
+        self.fault_plan = None
+        self.fault_step = 0
+        self._events = None                     # optional EventLog
+        self._degraded = False                  # sticky inline-only mode
+        self.degradations = 0
+        self._reclaimed: list[tuple[str, int]] = []
+        # Pipe writes are normally single-threaded; the lock exists for
+        # the rare out-of-band senders (delayed-delivery fault timers).
+        self._post_lock = threading.Lock()
 
     def attach_timing(self, tree) -> None:
         """Time the pipe phases (send/recv/ack) into *tree* under
         ``comm/pipe``; ``None`` detaches and restores the untimed path."""
         self._timing = tree
+
+    def attach_events(self, events) -> None:
+        """Stream transport telemetry (degradations, reclaimed segments)
+        into *events*; queued pre-attach happenings are flushed."""
+        self._events = events
+        if events is not None:
+            for name, pid in self._reclaimed:
+                events.emit("shm_reclaimed", "WARNING",
+                            segment=name, owner_pid=pid)
+            self._reclaimed = []
+
+    def note_reclaimed(self, reclaimed) -> None:
+        """Queue orphan-sweep results for the next :meth:`attach_events`."""
+        self._reclaimed.extend(reclaimed)
+
+    def note_progress(self) -> None:
+        """Bump the liveness counter (called by drivers once per step)."""
+        self.progress_count += 1
+        self.progress_stamp = time.monotonic()
 
     # -- sending -------------------------------------------------------------
 
@@ -184,45 +296,96 @@ class RankTransport:
         if not 0 <= dest < self.size:
             raise ValueError(f"invalid destination rank {dest}")
         self.stats.account_send(obj)
+        self.progress_count += 1
+        self.progress_stamp = time.monotonic()
         if dest == self.rank:
             # Self-send: deliver through the normal dispatch path so it
             # can complete a posted receive or join the held list.
             self._dispatch(("inl", self.rank, tag, _copy_payload(obj)))
             return
         if isinstance(obj, np.ndarray) and not obj.dtype.hasobject:
-            if obj.nbytes >= INLINE_MAX:
-                seq, seg = self._stage(dest, obj.nbytes)
-                view = np.ndarray(obj.shape, dtype=obj.dtype, buffer=seg.buf)
-                np.copyto(view, obj)
-                self._post(dest, ("shm", self.rank, tag, seq, seg.name,
-                                  obj.shape, obj.dtype.str))
-            else:
-                # Connection.send pickles immediately => snapshot.
-                self._post(dest, ("inl", self.rank, tag, obj))
+            if obj.nbytes >= INLINE_MAX and not self._degraded:
+                staged = self._try_stage(dest, obj.nbytes)
+                if staged is not None:
+                    seq, seg = staged
+                    view = np.ndarray(obj.shape, dtype=obj.dtype,
+                                      buffer=seg.buf)
+                    np.copyto(view, obj)
+                    self._post(dest, ("shm", self.rank, tag, seq, seg.name,
+                                      obj.shape, obj.dtype.str))
+                    return
+            # Connection.send pickles immediately => snapshot.  Also the
+            # degraded path for large arrays when staging is unavailable.
+            self._post(dest, ("inl", self.rank, tag, obj))
             return
         buf = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-        if len(buf) >= INLINE_MAX:
-            seq, seg = self._stage(dest, len(buf))
-            seg.buf[:len(buf)] = buf
-            self._post(dest, ("shb", self.rank, tag, seq, seg.name, len(buf)))
-        else:
-            self._post(dest, ("inlb", self.rank, tag, buf))
+        if len(buf) >= INLINE_MAX and not self._degraded:
+            staged = self._try_stage(dest, len(buf))
+            if staged is not None:
+                seq, seg = staged
+                seg.buf[:len(buf)] = buf
+                self._post(dest, ("shb", self.rank, tag, seq, seg.name,
+                                  len(buf)))
+                return
+        self._post(dest, ("inlb", self.rank, tag, buf))
+
+    def send_inline(self, obj, dest: int, tag: int) -> None:
+        """Thread-safe out-of-band send, always inline-pickled.
+
+        Used by delayed-delivery fault timers, which run on a side
+        thread: the payload bypasses channel-slot accounting and the
+        shared-memory pool (both single-thread-only) and rides the
+        control pipe, whose writes are serialized by the post lock.
+        """
+        buf = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        if dest == self.rank:
+            raise ValueError("send_inline cannot target the own rank")
+        self._post(dest, ("inlb", self.rank, tag, buf))
 
     def _post(self, dest: int, msg: tuple) -> None:
         try:
-            self._writers[dest].send(msg)
+            with self._post_lock:
+                self._writers[dest].send(msg)
         except (BrokenPipeError, OSError):
             # Peer process is gone; surface as a secondary failure so the
             # launcher's primary-error selection stays meaningful.
             self._check_failed()
             raise RemoteError(f"rank {dest} is unreachable") from None
 
+    def _try_stage(self, dest: int, nbytes: int):
+        """:meth:`_stage`, degrading to ``None`` when the pool is gone."""
+        try:
+            return self._stage(dest, nbytes)
+        except OSError as exc:
+            self._degrade(exc)
+            return None
+
+    def _degrade(self, exc: OSError) -> None:
+        """Switch permanently to inline-pickle payloads (pool exhausted)."""
+        self.degradations += 1
+        if self._degraded:
+            return
+        self._degraded = True
+        message = (
+            f"rank {self.rank}: shared-memory segment creation failed "
+            f"({exc!r}); transport degraded to inline-pickle payloads — "
+            "slower, but the run continues"
+        )
+        logger.warning(message)
+        warnings.warn(message, RuntimeWarning, stacklevel=4)
+        if self._events is not None:
+            self._events.emit("transport_degraded", "WARNING",
+                              error=repr(exc))
+
     def _stage(self, dest: int, nbytes: int):
         """Claim a channel slot + segment towards *dest* (may block)."""
         from multiprocessing import shared_memory
 
+        deadline = self.deadlines.start("send", peers=(dest,))
         while self._out_count.get(dest, 0) >= CHANNEL_SLOTS:
             self._check_failed()
+            if deadline is not None:
+                deadline.check()
             self.progress(block=True)   # drain acks / complete posted recvs
         seg = None
         free = self._free.setdefault(dest, [])
@@ -232,7 +395,8 @@ class RankTransport:
                 break
         if seg is None:
             seg = shared_memory.SharedMemory(create=True,
-                                             size=max(int(nbytes), 1))
+                                             size=max(int(nbytes), 1),
+                                             name=_segment_name())
         self._seq += 1
         self._outstanding[self._seq] = (dest, seg)
         self._out_count[dest] = self._out_count.get(dest, 0) + 1
@@ -269,11 +433,16 @@ class RankTransport:
 
     def complete(self, posted: _PostedRecv):
         """Drive progress until *posted* is done; returns its payload."""
+        deadline = self.deadlines.start(
+            "recv", peers=(posted.source,) if posted.source >= 0 else ()
+        )
         while not posted.done:
             self.progress(block=False)
             if posted.done:
                 break
             self._check_failed()
+            if deadline is not None:
+                deadline.check()
             self.progress(block=True)
         return posted.payload
 
@@ -329,6 +498,8 @@ class RankTransport:
                     break
 
     def _dispatch(self, msg: tuple) -> None:
+        self.progress_count += 1
+        self.progress_stamp = time.monotonic()
         kind = msg[0]
         if kind == "ack":
             dest, seg = self._outstanding.pop(msg[1])
@@ -366,6 +537,17 @@ class RankTransport:
             _, source, _tag, seq, name, nbytes = msg
             shm = self._attach(name)
             payload = pickle.loads(bytes(shm.buf[:nbytes]))
+        if self.fault_plan is not None and self.fault_plan.fires(
+            "ack_drop", step=self.fault_step, rank=self.rank
+        ) is not None:
+            # The ack vanishes: the sender's channel slot leaks, and once
+            # it exhausts its slots it blocks — the deadline layer (or
+            # watchdog) must contain the resulting stall.
+            logger.warning(
+                "rank %d: dropping ack for segment seq %d from rank %d "
+                "(injected ack_drop)", self.rank, seq, source,
+            )
+            return payload
         if self._timing is not None:
             t0 = time.perf_counter()
             try:
@@ -410,11 +592,17 @@ class RankTransport:
     # -- synchronization -----------------------------------------------------
 
     def barrier_wait(self) -> None:
-        import threading
-
+        limit = self.deadlines.limit("barrier")
+        t0 = time.monotonic()
         try:
-            self._barrier.wait()
+            self._barrier.wait(timeout=limit)
         except threading.BrokenBarrierError:
+            if (limit is not None and time.monotonic() - t0 >= limit
+                    and not self._failed.is_set()):
+                # Nobody died — the barrier genuinely timed out.  The mp
+                # barrier is broken for everyone now; peers see the
+                # failure flag this deadline sets via the launcher.
+                raise RankTimeout("barrier", limit) from None
             raise RemoteError("barrier broken by a failed peer") from None
 
     # -- shared-memory field allocation --------------------------------------
@@ -429,7 +617,15 @@ class RankTransport:
         from multiprocessing import shared_memory
 
         nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
-        seg = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+        try:
+            seg = shared_memory.SharedMemory(create=True, size=max(nbytes, 1),
+                                             name=_segment_name())
+        except OSError as exc:
+            # Degradation ladder, same rung as _try_stage: no segment
+            # pool left means plain heap arrays (ghosts fall back to
+            # pickled messages) — slower, never fatal.
+            self._degrade(exc)
+            return np.zeros(tuple(shape), dtype=dtype)
         self._field_segments.append(seg)
         arr = np.ndarray(tuple(shape), dtype=dtype, buffer=seg.buf)
         arr.fill(0)
@@ -450,7 +646,10 @@ class RankTransport:
         if self._closed:
             return
         self._closed = True
-        deadline = time.monotonic() + _JOIN_GRACE / 2
+        grace = self.deadlines.limit("ack")
+        if grace is None:
+            grace = _JOIN_GRACE / 2
+        deadline = time.monotonic() + grace
         while (self._outstanding and not self._failed.is_set()
                and time.monotonic() < deadline):
             try:
@@ -525,13 +724,30 @@ class ProcessCommunicator(Communicator):
             "backend uses whole-world abort (run_spmd semantics)"
         )
 
+    def aborted(self) -> bool:
+        """True once any rank failed (world-abort flag set)."""
+        return self._transport._failed.is_set()
+
     @property
     def stats(self) -> CommStats:
         return self._transport.stats
 
+    @property
+    def deadlines(self) -> DeadlinePolicy:
+        return self._transport.deadlines
+
     def attach_timing(self, tree) -> None:
         """Time the transport's pipe phases into *tree* (``comm/pipe/*``)."""
         self._transport.attach_timing(tree)
+
+    def attach_events(self, events) -> None:
+        """Stream transport telemetry events (degradations, reclaimed
+        segments) into *events*."""
+        self._transport.attach_events(events)
+
+    def note_progress(self) -> None:
+        """Bump the transport's liveness counter (watchdog heartbeat)."""
+        self._transport.note_progress()
 
     def field_allocator(self):
         """Shared-memory array allocator for rank-local Field buffers."""
@@ -562,11 +778,55 @@ def _transportable(exc: BaseException, rank: int) -> BaseException:
     return wrapped
 
 
+def _find_fault_plan(args, kwargs):
+    """Duck-typed FaultPlan lookup in an SPMD call's arguments.
+
+    Kept structural (``fires`` + ``mark_fired``) so the transport layer
+    does not import :mod:`repro.resilience`.
+    """
+    for obj in list(args) + list(kwargs.values()):
+        if hasattr(obj, "fires") and hasattr(obj, "mark_fired"):
+            return obj
+    return None
+
+
 def _child_entry(rank, size, fn, args, kwargs, readers, writers,
-                 failed, barrier, result_conn) -> None:
-    """Per-rank process body: run *fn*, report result or failure."""
+                 failed, barrier, result_conn, watchdog=None,
+                 reclaimed=()) -> None:
+    """Per-rank process body: run *fn*, report result or failure.
+
+    The result pipe doubles as the liveness channel: with an armed
+    *watchdog* a :class:`~repro.simmpi.liveness.LivenessBeacon` thread
+    streams ``("hb", rank, progress)`` messages, and a fault plan found
+    in the arguments notifies ``("fault", rank, (kind, step, rank))``
+    at fire time so the parent's plan copy stays in sync across
+    restarts (fork gives each child an independent copy).
+    """
     transport = RankTransport(rank, size, readers, writers, failed, barrier)
+    if rank == 0 and reclaimed:
+        transport.note_reclaimed(reclaimed)
     comm = ProcessCommunicator(transport)
+    result_lock = threading.Lock()
+
+    def report(msg) -> bool:
+        try:
+            with result_lock:
+                result_conn.send(msg)
+            return True
+        except Exception:
+            return False
+
+    plan = _find_fault_plan(args, kwargs)
+    if plan is not None:
+        plan.on_fire = lambda record: report(("fault", rank, record))
+    beacon = None
+    if watchdog is not None and watchdog.enabled:
+        beacon = LivenessBeacon(
+            result_conn, result_lock, rank,
+            lambda: (transport.progress_count, transport.progress_stamp),
+            watchdog.heartbeat,
+        )
+        beacon.start()
     try:
         result = fn(comm, *args, **kwargs)
     except BaseException as exc:  # noqa: BLE001 - reported to the parent
@@ -577,44 +837,56 @@ def _child_entry(rank, size, fn, args, kwargs, readers, writers,
             pass
         if not isinstance(exc, RemoteError):
             logger.error("rank %d failed: %r", rank, exc)
-        try:
-            result_conn.send(("err", rank, _transportable(exc, rank)))
-        except Exception:
-            pass
+        report(("err", rank, _transportable(exc, rank)))
     else:
         try:
-            result_conn.send(("ok", rank, result))
+            with result_lock:
+                result_conn.send(("ok", rank, result))
         except Exception as exc:  # unpicklable/oversized result
             failed.set()
             try:
                 barrier.abort()
             except Exception:
                 pass
-            try:
-                result_conn.send(("err", rank, _transportable(exc, rank)))
-            except Exception:
-                pass
+            report(("err", rank, _transportable(exc, rank)))
     finally:
+        if beacon is not None:
+            beacon.stop()
         transport.close()
-        result_conn.close()
+        with result_lock:
+            result_conn.close()
 
 
 def run_spmd_processes(n_ranks: int, fn, args: tuple = (),
-                       kwargs: dict | None = None) -> list:
+                       kwargs: dict | None = None,
+                       watchdog: WatchdogConfig | None = None) -> list:
     """Run ``fn(comm, *args, **kwargs)`` on *n_ranks* OS processes.
 
     The process-backend twin of the thread launcher in
     :func:`repro.simmpi.runtime.run_spmd`, with identical result and
     error semantics: per-rank return values in rank order, first
     non-:class:`RemoteError` exception re-raised with ``simmpi_rank``
-    set, secondary aborts suppressed.  Prefers the ``fork`` start method
-    (no pickling of *fn* or its closure) and falls back to ``spawn``
-    where fork is unavailable, in which case *fn*, *args* and *kwargs*
-    must be picklable.
+    set, secondary aborts suppressed (among those, a typed
+    :class:`RankFailure` — e.g. a :class:`RankTimeout` from the
+    deadline layer — is preferred, so containment decisions survive
+    error selection).  Prefers the ``fork`` start method (no pickling
+    of *fn* or its closure) and falls back to ``spawn`` where fork is
+    unavailable, in which case *fn*, *args* and *kwargs* must be
+    picklable.
+
+    *watchdog* (default: from ``REPRO_SIMMPI_HANG_TIMEOUT``) arms hang
+    detection: children heartbeat their transport progress counters,
+    and a rank whose counter freezes beyond the hang timeout — while
+    some peer still advanced, or past the grace factor — is killed and
+    reported as a :class:`RankTimeout` naming it, which elastic
+    campaigns turn into a shrink-and-resume.
     """
     import multiprocessing as mp
 
     kwargs = {} if kwargs is None else kwargs
+    watchdog = WatchdogConfig.from_env() if watchdog is None else watchdog
+    reclaimed = sweep_orphaned_segments()
+    parent_plan = _find_fault_plan(args, kwargs)
     method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
     ctx = mp.get_context(method)
     failed = ctx.Event()
@@ -640,7 +912,8 @@ def run_spmd_processes(n_ranks: int, fn, args: tuple = (),
         proc = ctx.Process(
             target=_child_entry,
             args=(rank, n_ranks, fn, args, kwargs,
-                  readers[rank], writers[rank], failed, barrier, res_w),
+                  readers[rank], writers[rank], failed, barrier, res_w,
+                  watchdog, tuple(reclaimed)),
             name=f"simmpi-rank-{rank}",
             daemon=True,
         )
@@ -660,43 +933,100 @@ def run_spmd_processes(n_ranks: int, fn, args: tuple = (),
     results: list = [None] * n_ranks
     errors: list = [None] * n_ranks
     pending = {result_conns[r]: r for r in range(n_ranks)}
+    monitor = RankMonitor(watchdog, n_ranks) if watchdog.enabled else None
+
+    def record_error(rank: int, err: BaseException) -> None:
+        err.simmpi_rank = rank
+        errors[rank] = err
+        if not isinstance(err, RemoteError):
+            logger.error("rank %d failed: %r", rank, err)
+
+    def consume(rank: int, msg: tuple) -> bool:
+        """Handle one child message; True when the rank is finished."""
+        kind = msg[0]
+        if kind == "hb":
+            if monitor is not None:
+                monitor.beat(rank, msg[2])
+            return False
+        if kind == "fault":
+            if parent_plan is not None:
+                fkind, fstep, frank = msg[2]
+                parent_plan.mark_fired(fkind, fstep, frank)
+            return False
+        if kind == "ok":
+            results[rank] = msg[2]
+            return True
+        record_error(rank, msg[2])   # "err"
+        return True
+
+    wait_timeout = (
+        0.25 if monitor is None else min(0.25, watchdog.heartbeat)
+    )
     while pending:
-        ready = _mpc.wait(list(pending), timeout=0.25)
+        ready = _mpc.wait(list(pending), timeout=wait_timeout)
         for conn in ready:
-            rank = pending.pop(conn)
-            try:
-                kind, _r, payload = conn.recv()
-            except (EOFError, OSError):
-                err = RemoteError(
-                    f"rank {rank} exited without reporting a result"
-                )
-                err.simmpi_rank = rank
-                errors[rank] = err
+            if conn not in pending:
                 continue
-            if kind == "ok":
-                results[rank] = payload
-            else:
-                payload.simmpi_rank = rank
-                errors[rank] = payload
-                if not isinstance(payload, RemoteError):
-                    logger.error("rank %d failed: %r", rank, payload)
+            rank = pending[conn]
+            while True:
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    del pending[conn]
+                    record_error(rank, RemoteError(
+                        f"rank {rank} exited without reporting a result"
+                    ))
+                    break
+                if consume(rank, msg):
+                    del pending[conn]
+                    break
+                if not conn.poll():
+                    break
         if not ready:
             # Liveness sweep: a hard-killed child never sets the failure
             # flag itself, so the parent does it on its behalf.
             for conn, rank in list(pending.items()):
                 proc = procs[rank][0]
                 if not proc.is_alive() and not conn.poll():
-                    err = RemoteError(
+                    record_error(rank, RemoteError(
                         f"rank {rank} died (exit code {proc.exitcode})"
-                    )
-                    err.simmpi_rank = rank
-                    errors[rank] = err
+                    ))
                     failed.set()
                     try:
                         barrier.abort()
                     except Exception:
                         pass
                     del pending[conn]
+        if monitor is not None and pending:
+            suspect = monitor.hung_rank(sorted(pending.values()))
+            if suspect is not None:
+                conn = next(c for c, r in pending.items() if r == suspect)
+                # Drain queued messages first: fire notifications must
+                # not be lost, and a just-landed result supersedes the
+                # hang verdict.
+                finished = False
+                try:
+                    while conn.poll():
+                        finished = consume(suspect, conn.recv()) or finished
+                except (EOFError, OSError):
+                    pass
+                del pending[conn]
+                if not finished:
+                    record_error(suspect, RankTimeout(
+                        "liveness", watchdog.hang_timeout, peers=(suspect,)
+                    ))
+                    failed.set()
+                    try:
+                        barrier.abort()
+                    except Exception:
+                        pass
+                    proc = procs[suspect][0]
+                    if proc.is_alive():
+                        logger.error(
+                            "watchdog: killing hung rank %d (pid %s)",
+                            suspect, proc.pid,
+                        )
+                        proc.kill()
 
     deadline = time.monotonic() + _JOIN_GRACE
     for proc, _ in procs:
@@ -715,6 +1045,11 @@ def run_spmd_processes(n_ranks: int, fn, args: tuple = (),
     )
     if primary is not None:
         raise primary
+    # Among secondary aborts, a typed RankFailure (deadline/watchdog
+    # containment verdict) beats a generic RemoteError echo.
+    failure = next((e for e in errors if isinstance(e, RankFailure)), None)
+    if failure is not None:
+        raise failure
     secondary = next((e for e in errors if e is not None), None)
     if secondary is not None:
         raise secondary

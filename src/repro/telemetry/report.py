@@ -93,6 +93,22 @@ RUN_REPORT_SCHEMA = {
                 "checkpoints_skipped": {"type": "integer", "minimum": 0},
             },
         },
+        "liveness": {
+            "type": "object",
+            "required": [
+                "hangs_detected", "stalls_injected",
+                "transport_degradations", "shm_reclaimed",
+                "deadlines_enabled", "watchdog_enabled",
+            ],
+            "properties": {
+                "hangs_detected": {"type": "integer", "minimum": 0},
+                "stalls_injected": {"type": "integer", "minimum": 0},
+                "transport_degradations": {"type": "integer", "minimum": 0},
+                "shm_reclaimed": {"type": "integer", "minimum": 0},
+                "deadlines_enabled": {"type": "boolean"},
+                "watchdog_enabled": {"type": "boolean"},
+            },
+        },
         "series": {"type": "object"},
     },
 }
@@ -124,6 +140,7 @@ def build_run_report(
     fault_stats: dict | None = None,
     event_stats: dict | None = None,
     elastic_stats: dict | None = None,
+    liveness_stats: dict | None = None,
     series: dict | None = None,
     created: float | None = None,
 ) -> dict:
@@ -134,9 +151,11 @@ def build_run_report(
     :meth:`~repro.grid.timeloop.Timeloop.timing_report` dump; *series*
     carries optional figure data (e.g. the Fig. 6 ladder table).
     *elastic_stats* — rank-failure/shrink/I-O-retry accounting from an
-    elastic campaign — adds the optional ``elastic`` section.  *created*
-    defaults to the current time — pass a fixed value for
-    byte-reproducible reports.
+    elastic campaign — adds the optional ``elastic`` section.
+    *liveness_stats* — hang-detection and degradation accounting from
+    the deadline/watchdog layer — adds the optional ``liveness``
+    section.  *created* defaults to the current time — pass a fixed
+    value for byte-reproducible reports.
     """
     shape = [int(s) for s in grid_shape]
     cells = 1
@@ -167,6 +186,13 @@ def build_run_report(
         report["elastic"] = {
             "rank_failures": 0, "shrinks": 0, "final_ranks": int(n_ranks),
             "io_retries": 0, "checkpoints_skipped": 0, **elastic_stats,
+        }
+    if liveness_stats is not None:
+        report["liveness"] = {
+            "hangs_detected": 0, "stalls_injected": 0,
+            "transport_degradations": 0, "shm_reclaimed": 0,
+            "deadlines_enabled": False, "watchdog_enabled": False,
+            **liveness_stats,
         }
     if series is not None:
         report["series"] = series
@@ -251,6 +277,21 @@ def validate_run_report(report: dict) -> None:
                 key in elastic
                 and isinstance(elastic[key], int) and elastic[key] >= 0,
                 f"elastic.{key} must be a non-negative integer",
+            )
+    if "liveness" in report:
+        liveness = report["liveness"]
+        _require(isinstance(liveness, dict), "liveness must be an object")
+        for key in ("hangs_detected", "stalls_injected",
+                    "transport_degradations", "shm_reclaimed"):
+            _require(
+                key in liveness
+                and isinstance(liveness[key], int) and liveness[key] >= 0,
+                f"liveness.{key} must be a non-negative integer",
+            )
+        for key in ("deadlines_enabled", "watchdog_enabled"):
+            _require(
+                key in liveness and isinstance(liveness[key], bool),
+                f"liveness.{key} must be a boolean",
             )
     if "series" in report:
         _require(isinstance(report["series"], dict),

@@ -4,12 +4,15 @@ Each test prints the fault plan (including its seed) so a failure report
 carries everything needed to reproduce the exact schedule.
 """
 
+import time as _time
+
 import numpy as np
 import pytest
 
 from repro.core.nucleation import smooth_phase_field, voronoi_initial_condition
 from repro.distributed import DistributedSimulation
 from repro.resilience import (
+    FAULT_KINDS,
     CheckpointStore,
     DivergenceError,
     Fault,
@@ -69,6 +72,27 @@ class TestFaultPlan:
         text = plan.describe()
         assert str(SEED) in text and "msg_drop" in text
 
+    def test_hang_fault_kinds_exist(self):
+        for kind in ("rank_stall", "rank_slow", "ack_drop"):
+            assert kind in FAULT_KINDS
+            Fault(kind=kind, step=1)  # accepted by the validator
+
+    def test_mark_fired_mirrors_a_remote_fire(self):
+        # The process backend replays child-side fires into the parent's
+        # plan copy so a campaign restart does not re-fire them.
+        plan = FaultPlan([Fault(kind="rank_stall", step=5, rank=2)], seed=SEED)
+        assert plan.mark_fired("rank_stall", 5, 2) is True
+        assert plan.mark_fired("rank_stall", 5, 2) is False  # already spent
+        assert plan.fires("rank_stall", step=5, rank=2) is None
+        assert len(plan.fired()) == 1
+
+    def test_on_fire_callback_reports_each_fire(self):
+        plan = FaultPlan([Fault(kind="nan_inject", step=2)], seed=SEED)
+        seen = []
+        plan.on_fire = seen.append
+        plan.fires("nan_inject", step=2)
+        assert seen == [("nan_inject", 2, None)]
+
 
 class TestRecoveryMatrix:
     """Acceptance matrix: every fault kind recovers to the unfaulted result."""
@@ -103,6 +127,24 @@ class TestRecoveryMatrix:
         # restart rounding
         np.testing.assert_allclose(result.phi, reference.phi, atol=1e-5)
         np.testing.assert_allclose(result.mu, reference.mu, atol=1e-5)
+
+    def test_delayed_message_does_not_stall_the_sender(self):
+        # regression (ISSUE 7): msg_delay used to sleep inline on the
+        # sending rank, stalling it — the opposite of a *late delivery*.
+        plan = FaultPlan([Fault(kind="msg_delay", step=0, rank=0,
+                                delay=0.4)], seed=SEED)
+
+        def fn(comm):
+            fc = FaultyComm(comm, plan)
+            if comm.rank == 0:
+                t0 = _time.monotonic()
+                fc.send(np.arange(5.0), dest=1, tag=9)
+                return _time.monotonic() - t0
+            return comm.recv(0, tag=9)
+
+        results = run_spmd(2, fn)
+        assert results[0] < 0.3  # the send returned without the lag
+        np.testing.assert_array_equal(results[1], np.arange(5.0))
 
     def test_delayed_message_is_harmless(self, setup, tmp_path):
         dsim, phi0, mu0, reference = setup
@@ -363,6 +405,51 @@ class TestElasticCampaign:
         assert store.steps()[-1] == STEPS
         ref = dsim.run(STEPS, phi0, mu0)
         np.testing.assert_array_equal(result.phi, ref.phi)
+
+    def test_rank_slow_below_hang_threshold_is_harmless(self, tmp_path):
+        dsim, phi0, mu0 = self._sim()
+        plan = FaultPlan([Fault(kind="rank_slow", step=3, rank=1,
+                                delay=0.2)], seed=SEED)
+        print(plan.describe())
+        store = ShardedCheckpointStore(tmp_path, fault_plan=plan)
+        result = run_campaign(
+            dsim, STEPS, phi0, mu0,
+            store=store, checkpoint_every=2, fault_plan=plan,
+        )
+        assert result.restarts == 0
+        assert result.shrinks == 0
+        assert len(result.faults_fired) == 1
+        ref = dsim.run(STEPS, phi0, mu0)
+        np.testing.assert_array_equal(result.phi, ref.phi)
+        np.testing.assert_array_equal(result.mu, ref.mu)
+
+    @pytest.mark.hangs
+    @pytest.mark.timeout(120)
+    def test_rank_stall_contained_by_recv_deadline(
+        self, tmp_path, monkeypatch
+    ):
+        """A hung (not crashed) rank would deadlock the campaign forever;
+        with deadlines armed the peers' recv timeout converts the hang
+        into a RankFailure, the campaign shrinks 4 -> 3 and finishes."""
+        monkeypatch.setenv("REPRO_SIMMPI_TIMEOUT", "2.0")
+        dsim, phi0, mu0 = self._sim()
+        plan = FaultPlan([Fault(kind="rank_stall", step=3, rank=1,
+                                delay=30.0)], seed=SEED)
+        print(plan.describe())
+        store = ShardedCheckpointStore(tmp_path, fault_plan=plan)
+        t0 = _time.monotonic()
+        result = run_campaign(
+            dsim, STEPS, phi0, mu0,
+            store=store, checkpoint_every=2, fault_plan=plan,
+        )
+        # contained well within the stall's 30 s safety cap
+        assert _time.monotonic() - t0 < 25
+        assert result.steps == STEPS
+        assert result.shrinks == 1
+        assert result.final_ranks == 3
+        assert result.restarts == 1
+        ref = dsim.run(STEPS, phi0, mu0)
+        np.testing.assert_allclose(result.phi, ref.phi, atol=1e-5)
 
     def test_elastic_telemetry_and_report(self, tmp_path):
         import json

@@ -120,6 +120,82 @@ def test_elastic_shrink_matches_checkpoint_restart(setup, tmp_path):
     np.testing.assert_array_equal(result.mu, reference.mu)
 
 
+@pytest.mark.faults
+@pytest.mark.hangs
+@pytest.mark.timeout(600)
+@pytest.mark.skipif(
+    "fork" not in __import__("multiprocessing").get_all_start_methods(),
+    reason="process-backend hang containment needs the fork start method",
+)
+def test_watchdog_contains_stalled_process_rank(setup, tmp_path, monkeypatch):
+    """Acceptance (ISSUE 7): a rank that *hangs* (stops communicating
+    without raising) mid-campaign on the process backend is detected by
+    the liveness watchdog within the deadline, killed, the campaign
+    shrinks 4 -> 3 and resumes from the newest sharded checkpoint with
+    fields **bitwise identical** to a checkpoint-restarted reference —
+    all in bounded wall-clock, nowhere near the stall's 30 s cap."""
+    import json
+    import time as _time
+
+    from repro.telemetry import RunTelemetry
+    from repro.telemetry.report import validate_run_report
+
+    monkeypatch.setenv("REPRO_SIMMPI_HANG_TIMEOUT", "1.5")
+    system, phi0, mu0 = setup
+    dsim = DistributedSimulation(
+        SHAPE, (2, 2), system=system, kernel="buffered", backend="process"
+    )
+    plan = FaultPlan([Fault(kind="rank_stall", step=5, rank=2, delay=30.0)])
+    print(plan.describe())
+    store = ShardedCheckpointStore(tmp_path / "elastic", fault_plan=plan)
+    t0 = _time.monotonic()
+    result = run_campaign(
+        dsim, M, phi0, mu0, store=store, checkpoint_every=2,
+        fault_plan=plan,
+        telemetry=RunTelemetry(directory=tmp_path / "tel", run_id="hang"),
+    )
+    elapsed = _time.monotonic() - t0
+    assert elapsed < 120, f"containment took {elapsed:.1f}s"
+    assert result.steps == M
+    assert result.rank_failures == 1
+    assert result.shrinks == 1
+    assert result.final_ranks == 3
+    assert len(result.faults_fired) == 1  # child fire mirrored to parent
+
+    # the versioned report carries the liveness section
+    validate_run_report(result.report)
+    liveness = result.report["liveness"]
+    assert liveness["hangs_detected"] == 1
+    assert liveness["stalls_injected"] == 1
+    assert liveness["watchdog_enabled"] is True
+
+    # hang/timeout events appear in the merged event log
+    merged = (tmp_path / "tel" / "events-merged.jsonl").read_text()
+    kinds = [json.loads(line)["kind"] for line in merged.splitlines()]
+    assert "hang_detected" in kinds
+    assert "rank_failed" in kinds
+    assert "comm_shrunk" in kinds
+
+    # bitwise-identical resume: reference run checkpoints and restarts
+    # at the same boundary (step 4, the last commit before the stall)
+    ref_dsim = DistributedSimulation(
+        SHAPE, (2, 2), system=system, kernel="buffered"
+    )
+    first = ref_dsim.run(N, phi0, mu0)
+    ref_store = ShardedCheckpointStore(tmp_path / "ref")
+    ref_store.save_global(
+        {"phi": first.phi, "mu": first.mu, "time": N * ref_dsim.params.dt,
+         "step_count": N, "kernel": ref_dsim.kernel},
+        forest=ref_dsim.forest, owner=ref_dsim.owner, n_ranks=ref_dsim.n_ranks,
+    )
+    state = ref_store.load_latest()
+    reference = ref_dsim.run(
+        M - N, state["phi"], state["mu"], t0=state["time"], step0=N
+    )
+    np.testing.assert_array_equal(result.phi, reference.phi)
+    np.testing.assert_array_equal(result.mu, reference.mu)
+
+
 def test_distributed_chunked_equals_single_run(setup):
     """t0/step0 continuation without a checkpoint is exact (float64)."""
     system, phi0, mu0 = setup
