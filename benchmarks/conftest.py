@@ -110,13 +110,16 @@ def write_bench_report(
     series: dict,
     timings: dict | None = None,
     counters: dict | None = None,
+    tracing: dict | None = None,
 ) -> dict:
     """Write the ``BENCH_<fig>.json`` run report of one figure benchmark.
 
     *series* carries the regenerated figure data (curves/tables keyed by
     scenario), stored under the report's ``series`` key so downstream
     tooling can track the trajectory of every point, not only the
-    headline MLUP/s.
+    headline MLUP/s.  *tracing* (a RunReport ``"tracing"`` section, e.g.
+    lifted from a traced anchor run) rides along so span-derived numbers
+    like the fig8 overlap efficiency enter the perf history too.
     """
     report = build_run_report(
         run_id=f"bench-{fig}",
@@ -129,6 +132,7 @@ def write_bench_report(
         timings=timings,
         counters=counters,
         series=series,
+        tracing_stats=tracing,
     )
     write_run_report(results_dir / f"BENCH_{fig}.json", report)
     return report

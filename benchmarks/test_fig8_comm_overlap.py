@@ -30,11 +30,13 @@ CORES = [2**k for k in range(5, 13)]
 
 
 def _telemetry_anchor_run(tmp_dir):
-    """A 2-rank telemetry-enabled run anchoring the JSON report.
+    """A 2-rank traced, overlap-scheduled run anchoring the JSON report.
 
     The model curves above are analytic; this run contributes a genuine
-    cross-rank timing tree (comm vs compute breakdown) and a measured
-    MLUP/s to ``BENCH_fig8_comm_overlap.json``.
+    cross-rank timing tree (comm vs compute breakdown), a measured
+    MLUP/s and — with span tracing forced on — the *measured* overlap
+    efficiency (fraction of exchange wall time hidden under peer
+    compute) to ``BENCH_fig8_comm_overlap.json``.
     """
     shape = (8, 8, 12) if SMOKE else (12, 12, 16)
     steps = 2 if SMOKE else 4
@@ -43,9 +45,10 @@ def _telemetry_anchor_run(tmp_dir):
                                           n_seeds=4)
     phi0 = smooth_phase_field(phi0, 2)
     d = DistributedSimulation(shape, (2, 1, 1), system=system,
-                              kernel="buffered")
+                              kernel="buffered", overlap=True)
     res = d.run(steps, phi0, mu0,
-                telemetry=RunTelemetry(directory=tmp_dir, run_id="fig8"))
+                telemetry=RunTelemetry(directory=tmp_dir, run_id="fig8",
+                                       trace=True))
     return res
 
 
@@ -68,6 +71,14 @@ def test_fig8_model_and_report(benchmark, results_dir, tmp_path):
     res = anchor["res"]
     assert res.timing is not None and res.report is not None
     assert res.report["mlups"] > 0
+    # The traced anchor run must yield a measured overlap section: both
+    # ranks exchanged ghosts, and the efficiency is a valid fraction (a
+    # tiny smoke run may legitimately hide nothing, so 0.0 is allowed).
+    tracing = res.report["tracing"]
+    overlap = tracing["overlap"]
+    assert overlap["exchange_seconds"] > 0
+    assert 0.0 <= overlap["efficiency"] <= 1.0
+    assert sorted(tracing["imbalance"]["per_rank"]) == ["0", "1"]
     write_bench_report(
         results_dir, "fig8_comm_overlap",
         config={"cores": CORES, "anchor": res.report["config"]},
@@ -78,6 +89,7 @@ def test_fig8_model_and_report(benchmark, results_dir, tmp_path):
         mlups=res.report["mlups"],
         timings=res.timing,
         counters=res.counters,
+        tracing=tracing,
         series={
             "model_ms": {
                 f"ov_phi={op} ov_mu={om}": [
@@ -85,6 +97,12 @@ def test_fig8_model_and_report(benchmark, results_dir, tmp_path):
                     for ct in curves[(op, om)]
                 ]
                 for op in (False, True) for om in (False, True)
+            },
+            "comm_overlap": {
+                "efficiency": overlap["efficiency"],
+                "exchange_seconds": overlap["exchange_seconds"],
+                "hidden_seconds": overlap["hidden_seconds"],
+                "imbalance_ratio": tracing["imbalance"]["ratio"],
             },
         },
     )

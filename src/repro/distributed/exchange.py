@@ -59,7 +59,10 @@ class ExchangeTimer:
         if seconds > self.max_seconds:
             self.max_seconds = seconds
         if self.tree is not None:
-            self.tree.record(self.scope, seconds)
+            self.tree.record(
+                self.scope, seconds,
+                span_args={"bytes": nbytes, "messages": messages},
+            )
 
     def stats(self) -> dict:
         """Structured dump (count/total/avg/min/max seconds, bytes, msgs)."""

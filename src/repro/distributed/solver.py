@@ -69,7 +69,11 @@ class DistributedResult:
     With telemetry enabled, *timing* carries the cross-rank-reduced
     timing tree (see :mod:`repro.telemetry.reduce`), *counters* the
     summed per-rank counter snapshots, and *report* the schema-valid
-    :mod:`repro.telemetry.report` document of the run.
+    :mod:`repro.telemetry.report` document of the run.  With span
+    tracing on (``REPRO_TRACE=1`` or ``RunTelemetry(trace=True)``),
+    *spans* holds the per-rank span timeline gathered to rank 0 and
+    *trace_path* the exported Chrome trace-event JSON (``None`` when the
+    telemetry session has no directory).
     """
 
     phi: np.ndarray
@@ -78,6 +82,8 @@ class DistributedResult:
     timing: dict | None = None
     counters: dict | None = None
     report: dict | None = None
+    spans: list | None = None
+    trace_path: object = None
 
 
 class DistributedSimulation:
@@ -333,6 +339,26 @@ class DistributedSimulation:
                 ],
                 "pending": len(fault_plan.pending()),
             }
+        tracing_stats = None
+        spans = next(
+            (e["spans"] for e in extras if e and e.get("spans") is not None),
+            None,
+        )
+        if spans is not None:
+            from repro.telemetry.spans import tracing_section
+            from repro.telemetry.tracing import write_chrome_trace
+
+            trace_stats = next(
+                (e["trace_stats"] for e in extras
+                 if e and e.get("trace_stats")),
+                [],
+            )
+            tracing_stats = tracing_section(spans, trace_stats)
+            result.spans = spans
+            trace_path = telemetry.trace_path()
+            if trace_path is not None:
+                result.trace_path = write_chrome_trace(trace_path, spans)
+                logger.info("chrome trace written to %s", result.trace_path)
         report = build_run_report(
             run_id=telemetry.run_id,
             config={
@@ -354,6 +380,7 @@ class DistributedSimulation:
             counters=counters,
             event_stats={"count": event_count, "path": event_path},
             fault_stats=fault_stats,
+            tracing_stats=tracing_stats,
         )
         result.report = report
         path = telemetry.report_path()
@@ -391,7 +418,11 @@ class DistributedSimulation:
             from repro.telemetry.counters import Heartbeat, MetricsRegistry
             from repro.telemetry.timing import TimingTree
 
-            tree = TimingTree()
+            # Span tracing (REPRO_TRACE=1 / RunTelemetry(trace=True)):
+            # the tree forwards every timed scope to the recorder as a
+            # timestamped span; tracer=None keeps the hot path at one
+            # attribute check per measurement.
+            tree = TimingTree(tracer=telemetry.open_tracer(comm.rank))
             if compile_seconds:
                 tree.record("compile", compile_seconds)
             if hasattr(comm, "attach_timing"):
@@ -526,6 +557,7 @@ class DistributedSimulation:
 
         timer_phi = ExchangeTimer(tree, "comm/phi")
         timer_mu = ExchangeTimer(tree, "comm/mu")
+        tracer = tree.tracer if tree is not None else None
         _pc = _time.perf_counter
 
         def exchange(fields: dict[int, Field], buffer: str, spec, tag, timer):
@@ -544,6 +576,11 @@ class DistributedSimulation:
         note_progress = getattr(comm, "note_progress", None)
         for local_step in range(steps):
             global_step = step0 + local_step
+            # Whole-step spans are recorded to the tracer only (not the
+            # tree), so the aggregated timing breakdown keeps its
+            # pre-tracing shape; per-rank step totals are the imbalance
+            # signal of the report's "tracing" section.
+            step_t0 = _pc() if tracer is not None else 0.0
             if note_progress is not None:
                 # Feed the liveness watchdog even on steps with little
                 # communication: one tick per step keeps a busy rank
@@ -700,6 +737,8 @@ class DistributedSimulation:
                         )
                 if tree is not None:
                     tree.record("guard", _pc() - mark)
+            if tracer is not None:
+                tracer.record("step", step_t0, _pc(), step=global_step + 1)
             if heartbeat is not None:
                 heartbeat.sample(global_step=global_step + 1)
             if (
@@ -746,10 +785,25 @@ class DistributedSimulation:
             event_count = events.count()
             events.close()
             merged = reduce_tree_over_ranks(comm, tree)
+            spans_gathered = trace_stats = None
+            if tracer is not None:
+                # Per-rank span buffers travel to rank 0 over the same
+                # simmpi collectives the run used; every rank resolved
+                # the same trace switch, so the gather is uniform.
+                gathered = comm.gather(
+                    (tracer.drain(), tracer.stats()), root=0
+                )
+                if gathered is not None:
+                    spans_gathered = [
+                        s for rank_spans, _ in gathered for s in rank_spans
+                    ]
+                    trace_stats = [st for _, st in gathered]
             extra = {
                 "tree": merged,
                 "tree_local": tree.to_dict(),
                 "counters": registry.snapshot(),
                 "event_count": event_count,
+                "spans": spans_gathered,
+                "trace_stats": trace_stats,
             }
         return out, stats, extra

@@ -14,6 +14,10 @@ Timing is read through :meth:`Timeloop.timing_report` — a structured
 (which then feeds the cross-rank reduction of
 :mod:`repro.telemetry.reduce`).  Poking the ``Functor`` fields directly
 still works but is deprecated; the report and the tree are the API.
+When the attached tree carries a span tracer
+(:mod:`repro.telemetry.tracing`), every functor invocation recorded into
+the tree also becomes a ``timeloop/<name>`` span on the trace timeline —
+the loop itself needs no extra wiring.
 """
 
 from __future__ import annotations

@@ -1,0 +1,349 @@
+"""Perf-regression history: BENCH reports -> trend line -> verdicts.
+
+The benchmark suite writes one schema-validated ``BENCH_*.json`` run
+report per figure (:mod:`repro.telemetry.report`); each file is a
+*snapshot*.  This module turns the snapshots into a *history*: an
+append-only ``history.jsonl`` of compact entries keyed by
+``run_id @ config_hash @ machine-fingerprint``, so the performance
+trajectory of every benchmark series survives across commits and a 2x
+kernel slowdown is caught by CI instead of a reviewer's memory.
+
+Regression detection is a rolling-baseline comparison, not a fixed
+threshold against absolute numbers: for each ``(series, metric)`` the
+newest value is compared against the *median of the previous window*
+(default 5 entries).  Medians shrug off one noisy run; per-machine
+series keys keep a laptop from gating against a CI runner's baseline.
+
+CLI (``python -m repro.perf.history RESULTS_DIR [--history PATH]``)
+ingests reports, appends new entries, prints per-series verdicts and —
+with ``--gate`` — exits non-zero when a non-smoke series regressed.
+Smoke-mode entries (``REPRO_BENCH_SMOKE=1`` runs, tiny grids, minimum
+steps) are recorded for trend context but never gate: their timings are
+dominated by fixed overheads, exactly the noise the gate must ignore.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+__all__ = [
+    "HISTORY_VERSION",
+    "machine_fingerprint",
+    "flatten_metrics",
+    "entry_from_report",
+    "load_history",
+    "append_history",
+    "detect_regressions",
+]
+
+HISTORY_VERSION = 1
+
+#: Metric-name fragments that mean "lower is better" (durations).  The
+#: default direction is "higher is better" (rates: MLUP/s, efficiency).
+_LOWER_IS_BETTER = ("seconds", "_ms", "_us", "latency")
+
+
+def machine_fingerprint() -> str:
+    """Stable 12-hex id of the machine *class* running the benchmarks.
+
+    Hashes platform, architecture, Python major.minor and core count —
+    deliberately **not** the hostname, so identically-provisioned CI
+    runners accumulate one shared baseline instead of one orphan series
+    per ephemeral runner name.
+    """
+    blob = "|".join((
+        platform.system(),
+        platform.machine(),
+        "py%d.%d" % sys.version_info[:2],
+        str(os.cpu_count() or 0),
+    ))
+    return hashlib.sha256(blob.encode()).hexdigest()[:12]
+
+
+def flatten_metrics(report: dict) -> dict[str, float]:
+    """Extract the numeric trend metrics of one run report.
+
+    Top-level ``mlups`` / ``wall_seconds``, every numeric leaf of the
+    ``series`` tree (paths joined with ``/``; list-valued series such as
+    fig8's per-core model curves are skipped — a history entry tracks
+    scalars), and the tracing overlap efficiency when present.
+    """
+    metrics: dict[str, float] = {}
+    for key in ("mlups", "wall_seconds"):
+        value = report.get(key)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            metrics[key] = float(value)
+
+    def walk(prefix: str, node) -> None:
+        if isinstance(node, bool):
+            return
+        if isinstance(node, (int, float)):
+            metrics[prefix] = float(node)
+        elif isinstance(node, dict):
+            for name, child in node.items():
+                walk(f"{prefix}/{name}", child)
+        # lists (per-core curves, violation logs) are not trend scalars
+
+    walk("series", report.get("series", {}))
+    eff = (report.get("tracing") or {}).get("overlap", {}).get("efficiency")
+    if isinstance(eff, (int, float)) and not isinstance(eff, bool):
+        metrics["tracing/overlap_efficiency"] = float(eff)
+    return metrics
+
+
+def entry_from_report(report: dict, *, source: str | None = None,
+                      machine: str | None = None) -> dict:
+    """Compact history entry of one run report.
+
+    ``series_key`` — ``run_id@config_hash@machine`` — is what regression
+    detection groups by: same benchmark, same configuration, same class
+    of machine.  A config change (new grid size, different rungs) starts
+    a fresh series instead of tripping a false regression.
+    """
+    if machine is None:
+        machine = machine_fingerprint()
+    run_id = str(report.get("run_id", "unknown"))
+    config_hash = str(report.get("config_hash", "none"))
+    return {
+        "version": HISTORY_VERSION,
+        "series_key": f"{run_id}@{config_hash}@{machine}",
+        "run_id": run_id,
+        "config_hash": config_hash,
+        "machine": machine,
+        "created": float(report.get("created", time.time())),
+        "smoke": bool((report.get("config") or {}).get("smoke", False)),
+        "source": source,
+        "metrics": flatten_metrics(report),
+    }
+
+
+def load_history(path) -> list[dict]:
+    """Read ``history.jsonl`` (missing file -> empty history)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    entries = []
+    for i, line in enumerate(path.read_text().splitlines()):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{i + 1}: invalid JSON line") from exc
+        if not isinstance(entry, dict) or "series_key" not in entry:
+            raise ValueError(f"{path}:{i + 1}: not a history entry")
+        entries.append(entry)
+    return entries
+
+
+def append_history(path, entries) -> list[dict]:
+    """Append *entries* to ``history.jsonl``, skipping duplicates.
+
+    An entry is a duplicate when its ``(series_key, created)`` pair is
+    already on file — re-running the CLI over an unchanged results
+    directory is idempotent.  Returns the entries actually appended.
+    """
+    path = Path(path)
+    existing = {
+        (e["series_key"], e.get("created")) for e in load_history(path)
+    }
+    fresh = []
+    for entry in entries:
+        key = (entry["series_key"], entry.get("created"))
+        if key in existing:
+            continue
+        existing.add(key)
+        fresh.append(entry)
+    if fresh:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a") as fh:
+            for entry in fresh:
+                fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return fresh
+
+
+def _direction(metric: str) -> int:
+    """+1 when higher is better (rates), -1 when lower is (durations)."""
+    name = metric.rsplit("/", 1)[-1]
+    if any(frag in name for frag in _LOWER_IS_BETTER):
+        return -1
+    return 1
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def detect_regressions(entries, *, window: int = 5,
+                       threshold: float = 0.6) -> list[dict]:
+    """Per-(series, metric) verdicts of the newest entry vs its baseline.
+
+    The baseline is the median of up to *window* immediately preceding
+    entries of the same series.  With direction-normalised ratio
+    ``r`` (= value/baseline for rates, baseline/value for durations):
+
+    * ``r < threshold``      -> ``"regression"`` (default 0.6 flags a
+      1.67x slowdown; a synthetic 2x slowdown lands at r = 0.5),
+    * ``r > 1/threshold``    -> ``"improved"``,
+    * otherwise              -> ``"ok"``;
+    * no preceding entries   -> ``"new"`` (nothing to compare).
+
+    Metrics whose baseline is 0 (e.g. overlap efficiency on a run too
+    small to hide anything) report ``"ok"`` — a ratio against zero means
+    nothing.  Returns one verdict dict per (series, metric) with the
+    value, baseline, ratio and the entry's smoke flag.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    by_series: dict[str, list[dict]] = {}
+    for entry in sorted(entries, key=lambda e: e.get("created", 0.0)):
+        by_series.setdefault(entry["series_key"], []).append(entry)
+    verdicts = []
+    for series_key, series in by_series.items():
+        newest = series[-1]
+        previous = series[max(0, len(series) - 1 - window):-1]
+        for metric, value in sorted(newest.get("metrics", {}).items()):
+            history = [
+                e["metrics"][metric] for e in previous
+                if isinstance(e.get("metrics", {}).get(metric),
+                              (int, float))
+            ]
+            verdict = {
+                "series_key": series_key,
+                "metric": metric,
+                "value": value,
+                "smoke": bool(newest.get("smoke", False)),
+                "baseline": None,
+                "ratio": None,
+                "verdict": "new",
+            }
+            if history:
+                baseline = _median(history)
+                verdict["baseline"] = baseline
+                if baseline > 0 and value > 0:
+                    ratio = (
+                        value / baseline if _direction(metric) > 0
+                        else baseline / value
+                    )
+                    verdict["ratio"] = ratio
+                    if ratio < threshold:
+                        verdict["verdict"] = "regression"
+                    elif ratio > 1.0 / threshold:
+                        verdict["verdict"] = "improved"
+                    else:
+                        verdict["verdict"] = "ok"
+                else:
+                    verdict["verdict"] = "ok"
+            verdicts.append(verdict)
+    return verdicts
+
+
+def _collect_reports(paths) -> list[tuple[str, dict]]:
+    """(source, report) pairs from files and/or results directories."""
+    from repro.telemetry.report import validate_run_report
+
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.glob("BENCH_*.json")))
+        else:
+            files.append(p)
+    out = []
+    for f in files:
+        try:
+            report = json.loads(f.read_text())
+            validate_run_report(report)
+        except (OSError, ValueError) as exc:
+            print(f"history: skipping {f}: {exc}", file=sys.stderr)
+            continue
+        out.append((str(f), report))
+    return out
+
+
+def _main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.history",
+        description="Append BENCH_*.json run reports to a perf history "
+                    "and detect regressions against rolling baselines.",
+    )
+    parser.add_argument(
+        "paths", nargs="+",
+        help="results directories (scanned for BENCH_*.json) or report "
+             "files",
+    )
+    parser.add_argument(
+        "--history", default="benchmarks/results/history.jsonl",
+        help="history JSONL to append to (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=5,
+        help="baseline window: median of up to N previous entries "
+             "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.6,
+        help="normalised ratio below which a metric is a regression "
+             "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="exit 1 when any non-smoke series regressed (CI mode; "
+             "local runs only warn)",
+    )
+    args = parser.parse_args(argv)
+
+    reports = _collect_reports(args.paths)
+    if not reports:
+        print("history: no valid BENCH reports found", file=sys.stderr)
+        return 2
+    entries = [
+        entry_from_report(report, source=source) for source, report in reports
+    ]
+    appended = append_history(args.history, entries)
+    history = load_history(args.history)
+    print(
+        f"history: {len(appended)} new entries appended "
+        f"({len(history)} total) -> {args.history}"
+    )
+    verdicts = detect_regressions(
+        history, window=args.window, threshold=args.threshold
+    )
+    flagged = [v for v in verdicts if v["verdict"] == "regression"]
+    gated = [v for v in flagged if not v["smoke"]]
+    for v in verdicts:
+        if v["verdict"] == "new":
+            continue
+        ratio = "" if v["ratio"] is None else f" (x{v['ratio']:.2f})"
+        print(
+            f"  [{v['verdict']:>10}] {v['series_key']} :: {v['metric']} "
+            f"= {v['value']:.6g} vs baseline "
+            f"{v['baseline']:.6g}{ratio}"
+        )
+    if flagged:
+        print(
+            f"history: {len(flagged)} regression(s), "
+            f"{len(gated)} gating (non-smoke)"
+        )
+    if args.gate and gated:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(_main())

@@ -203,12 +203,16 @@ class RankTransport:
         Receiver consumed segment *seq*; the sender may reuse it.
 
     With a :class:`~repro.telemetry.timing.TimingTree` attached
-    (:meth:`attach_timing`), the three pipe phases are timed under
+    (:meth:`attach_timing`), the pipe phases are timed under
     ``comm/pipe``: ``send`` (control-message writes, including any block
-    on a full channel), ``recv`` (progress-engine drains, including poll
-    waits) and ``ack`` (segment-release notifications; fired from inside
-    a drain, so also contained in the ``recv`` total).  This is the
-    process-backend transport overhead the fig7 RunReport quantifies.
+    on a full channel), ``stage`` (segment claims, i.e. back-pressure
+    waits; contained in the ``send`` total), ``recv`` (progress-engine
+    drains, including poll waits) and ``ack`` (segment-release
+    notifications; fired from inside a drain, so also contained in the
+    ``recv`` total).  This is the process-backend transport overhead the
+    fig7 RunReport quantifies, and with tracing on
+    (:mod:`repro.telemetry.tracing`) each phase call becomes a
+    ``comm/pipe/*`` span feeding the pipe-latency histogram.
     """
 
     def __init__(self, rank: int, size: int, readers: dict, writers: dict,
@@ -354,6 +358,21 @@ class RankTransport:
 
     def _try_stage(self, dest: int, nbytes: int):
         """:meth:`_stage`, degrading to ``None`` when the pool is gone."""
+        if self._timing is not None:
+            # Staging is where a sender blocks on channel back-pressure
+            # (all CHANNEL_SLOTS in flight), so its own scope under
+            # comm/pipe separates "waiting for a free segment" from the
+            # plain control-message write cost in comm/pipe/send.
+            t0 = time.perf_counter()
+            try:
+                return self._try_stage_untimed(dest, nbytes)
+            finally:
+                self._timing.record(
+                    "comm/pipe/stage", time.perf_counter() - t0,
+                )
+        return self._try_stage_untimed(dest, nbytes)
+
+    def _try_stage_untimed(self, dest: int, nbytes: int):
         try:
             return self._stage(dest, nbytes)
         except OSError as exc:

@@ -21,6 +21,12 @@ substrate:
   window and the Timeloop heartbeat functor;
 * :mod:`repro.telemetry.report` — versioned, schema-validated JSON run
   reports (the ``BENCH_*.json`` performance trajectory);
+* :mod:`repro.telemetry.tracing` — opt-in (``REPRO_TRACE=1``) bounded
+  span recording of every timed scope, exported as Chrome trace-event /
+  Perfetto JSON timelines;
+* :mod:`repro.telemetry.spans` — span-derived analyses: overlap
+  efficiency (the Fig. 8 number), per-rank step-time imbalance and the
+  process-backend pipe-latency histogram;
 * :mod:`repro.telemetry.session` — :class:`RunTelemetry`, the opt-in
   switch drivers accept.
 """
@@ -65,7 +71,23 @@ from repro.telemetry.report import (
     write_run_report,
 )
 from repro.telemetry.session import RunTelemetry
+from repro.telemetry.spans import (
+    overlap_efficiency,
+    per_rank_imbalance,
+    pipe_latency_histogram,
+    tracing_section,
+)
 from repro.telemetry.timing import TimerStats, TimingNode, TimingPool, TimingTree
+from repro.telemetry.tracing import (
+    Span,
+    SpanRecorder,
+    load_chrome_trace,
+    recorder_from_env,
+    spans_to_chrome_trace,
+    trace_enabled,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 
 __all__ = [
     "TimerStats",
@@ -102,4 +124,16 @@ __all__ = [
     "write_run_report",
     "load_run_report",
     "RunTelemetry",
+    "Span",
+    "SpanRecorder",
+    "trace_enabled",
+    "recorder_from_env",
+    "spans_to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "load_chrome_trace",
+    "overlap_efficiency",
+    "per_rank_imbalance",
+    "pipe_latency_histogram",
+    "tracing_section",
 ]

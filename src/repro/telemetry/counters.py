@@ -82,12 +82,26 @@ class RollingRate:
             )
 
     def mlups(self) -> float:
-        """Window rate in MLUP/s (0 until two samples exist)."""
+        """Window rate in MLUP/s (0 until the window has nonzero width).
+
+        Zero-width windows are a real occurrence, not a corner case: the
+        first sample, two samples landing in the same clock tick (coarse
+        timers, injected ``now=`` values), or a heartbeat firing twice
+        without measurable progress.  None of them may divide by zero —
+        the rate reads over the *earliest sample whose timestamp
+        strictly precedes the newest*, and reports 0.0 while the whole
+        window is still degenerate.
+        """
         with self._lock:
             if len(self._samples) < 2:
                 return 0.0
-            (t0, c0), (t1, c1) = self._samples[0], self._samples[-1]
-        if t1 <= t0:
+            t1, c1 = self._samples[-1]
+            t0 = c0 = None
+            for ts, cs in self._samples:
+                if ts < t1:
+                    t0, c0 = ts, cs
+                    break
+        if t0 is None or t1 <= t0:
             return 0.0
         return (c1 - c0) / (t1 - t0) / 1.0e6
 

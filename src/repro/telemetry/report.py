@@ -30,6 +30,7 @@ __all__ = [
     "validate_run_report",
     "write_run_report",
     "load_run_report",
+    "summarize_run_report",
 ]
 
 RUN_REPORT_VERSION = 1
@@ -109,6 +110,28 @@ RUN_REPORT_SCHEMA = {
                 "watchdog_enabled": {"type": "boolean"},
             },
         },
+        "tracing": {
+            "type": "object",
+            "required": ["enabled", "spans", "dropped", "overlap",
+                         "imbalance"],
+            "properties": {
+                "enabled": {"type": "boolean"},
+                "spans": {"type": "integer", "minimum": 0},
+                "dropped": {"type": "integer", "minimum": 0},
+                "sample": {"type": "integer", "minimum": 1},
+                "overlap": {
+                    "type": "object",
+                    "required": ["exchange_seconds", "hidden_seconds",
+                                 "efficiency"],
+                },
+                "imbalance": {
+                    "type": "object",
+                    "required": ["per_rank", "max", "avg", "stddev",
+                                 "ratio"],
+                },
+                "pipe_latency": {"type": ["object", "null"]},
+            },
+        },
         "series": {"type": "object"},
     },
 }
@@ -141,6 +164,7 @@ def build_run_report(
     event_stats: dict | None = None,
     elastic_stats: dict | None = None,
     liveness_stats: dict | None = None,
+    tracing_stats: dict | None = None,
     series: dict | None = None,
     created: float | None = None,
 ) -> dict:
@@ -154,8 +178,10 @@ def build_run_report(
     elastic campaign — adds the optional ``elastic`` section.
     *liveness_stats* — hang-detection and degradation accounting from
     the deadline/watchdog layer — adds the optional ``liveness``
-    section.  *created* defaults to the current time — pass a fixed
-    value for byte-reproducible reports.
+    section.  *tracing_stats* — the span-derived overlap / imbalance /
+    pipe-latency analyses of :func:`repro.telemetry.spans.tracing_section`
+    — adds the optional ``tracing`` section.  *created* defaults to the
+    current time — pass a fixed value for byte-reproducible reports.
     """
     shape = [int(s) for s in grid_shape]
     cells = 1
@@ -193,6 +219,16 @@ def build_run_report(
             "transport_degradations": 0, "shm_reclaimed": 0,
             "deadlines_enabled": False, "watchdog_enabled": False,
             **liveness_stats,
+        }
+    if tracing_stats is not None:
+        report["tracing"] = {
+            "enabled": True, "spans": 0, "dropped": 0, "sample": 1,
+            "overlap": {"exchange_seconds": 0.0, "hidden_seconds": 0.0,
+                        "efficiency": 0.0},
+            "imbalance": {"per_rank": {}, "max": 0.0, "min": 0.0,
+                          "avg": 0.0, "stddev": 0.0, "ratio": 0.0},
+            "pipe_latency": None,
+            **tracing_stats,
         }
     if series is not None:
         report["series"] = series
@@ -293,6 +329,45 @@ def validate_run_report(report: dict) -> None:
                 key in liveness and isinstance(liveness[key], bool),
                 f"liveness.{key} must be a boolean",
             )
+    if "tracing" in report:
+        tracing = report["tracing"]
+        _require(isinstance(tracing, dict), "tracing must be an object")
+        _require(
+            "enabled" in tracing and isinstance(tracing["enabled"], bool),
+            "tracing.enabled must be a boolean",
+        )
+        for key in ("spans", "dropped"):
+            _require(
+                key in tracing
+                and isinstance(tracing[key], int) and tracing[key] >= 0,
+                f"tracing.{key} must be a non-negative integer",
+            )
+        overlap = tracing.get("overlap")
+        _require(isinstance(overlap, dict), "tracing.overlap must be an object")
+        for key in ("exchange_seconds", "hidden_seconds", "efficiency"):
+            _require(
+                isinstance(overlap.get(key), (int, float))
+                and overlap[key] >= 0,
+                f"tracing.overlap.{key} must be a non-negative number",
+            )
+        _require(overlap["efficiency"] <= 1.0 + 1e-9,
+                 "tracing.overlap.efficiency must be <= 1")
+        imbalance = tracing.get("imbalance")
+        _require(isinstance(imbalance, dict),
+                 "tracing.imbalance must be an object")
+        _require(isinstance(imbalance.get("per_rank"), dict),
+                 "tracing.imbalance.per_rank must be an object")
+        for key in ("max", "avg", "stddev", "ratio"):
+            _require(
+                isinstance(imbalance.get(key), (int, float))
+                and imbalance[key] >= 0,
+                f"tracing.imbalance.{key} must be a non-negative number",
+            )
+        _require(
+            tracing.get("pipe_latency") is None
+            or isinstance(tracing["pipe_latency"], dict),
+            "tracing.pipe_latency must be an object or null",
+        )
     if "series" in report:
         _require(isinstance(report["series"], dict),
                  "series must be an object")
@@ -316,22 +391,146 @@ def load_run_report(path) -> dict:
     return report
 
 
-def _main(argv: list[str]) -> int:  # pragma: no cover - exercised by CI
-    if not argv or argv[0] in ("-h", "--help"):
-        print("usage: python -m repro.telemetry.report FILE [FILE...]\n"
+def _flatten_timings(timings: dict) -> list[tuple[str, dict]]:
+    """``(path, stats)`` rows from either timing representation.
+
+    Handles both the cross-rank-reduced tree (nested ``children`` dicts)
+    and a :meth:`~repro.grid.timeloop.Timeloop.timing_report` dump
+    (flat ``functors`` table).
+    """
+    rows: list[tuple[str, dict]] = []
+    if "functors" in timings:
+        for name, stats in timings["functors"].items():
+            rows.append((name, stats))
+        return rows
+
+    def walk(node: dict, prefix: str) -> None:
+        for name, child in node.get("children", {}).items():
+            path = f"{prefix}/{name}" if prefix else name
+            rows.append((path, child))
+            walk(child, path)
+
+    walk(timings, "")
+    return rows
+
+
+def summarize_run_report(report: dict) -> list[str]:
+    """Human-readable summary lines of a validated run report.
+
+    Top timing scopes by total seconds (with per-rank imbalance when the
+    reduced tree carries it), counters, and one line per optional
+    section (guards / faults / elastic / liveness / tracing) — the
+    ``--summary`` mode of the CLI.
+    """
+    lines = [
+        f"run {report['run_id']}  config {report['config_hash']}  "
+        f"ranks {report['ranks']}  steps {report['steps']}  "
+        f"mlups {report['mlups']:.3f}  wall {report['wall_seconds']:.3f}s",
+    ]
+    timings = report.get("timings")
+    if timings:
+        rows = sorted(
+            _flatten_timings(timings),
+            key=lambda r: -float(r[1].get("total", 0.0)),
+        )
+        lines.append("timing scopes (top by total seconds):")
+        lines.append(
+            f"  {'scope':<28}{'count':>8}{'total':>10}{'avg':>10}"
+            f"{'rank max/avg':>14}"
+        )
+        for path, stats in rows[:12]:
+            count = int(stats.get("count", stats.get("calls", 0)))
+            total = float(stats.get("total", 0.0))
+            avg = total / count if count else 0.0
+            rank_avg = float(stats.get("rank_avg", 0.0))
+            skew = (
+                f"{float(stats.get('rank_max', 0.0)) / rank_avg:>13.2f}x"
+                if rank_avg > 0 else f"{'-':>14}"
+            )
+            lines.append(
+                f"  {path:<28}{count:>8}{total:>10.4f}{avg:>10.6f}{skew}"
+            )
+    counters = report.get("counters") or {}
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            value = counters[name]
+            shown = f"{value:.3f}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name:<28}{shown:>16}")
+    guards = report["guards"]
+    lines.append(
+        f"guards: rollbacks {guards['rollbacks']}  "
+        f"restarts {guards['restarts']}  "
+        f"violations {len(guards['violations'])}"
+    )
+    faults = report["faults"]
+    lines.append(
+        f"faults: fired {len(faults['fired'])}  pending {faults['pending']}"
+    )
+    if "elastic" in report:
+        e = report["elastic"]
+        lines.append(
+            f"elastic: rank_failures {e['rank_failures']}  "
+            f"shrinks {e['shrinks']}  final_ranks {e['final_ranks']}  "
+            f"io_retries {e['io_retries']}  "
+            f"checkpoints_skipped {e['checkpoints_skipped']}"
+        )
+    if "liveness" in report:
+        lv = report["liveness"]
+        lines.append(
+            f"liveness: hangs {lv['hangs_detected']}  "
+            f"stalls {lv['stalls_injected']}  "
+            f"degradations {lv['transport_degradations']}  "
+            f"shm_reclaimed {lv['shm_reclaimed']}  "
+            f"deadlines {'on' if lv['deadlines_enabled'] else 'off'}  "
+            f"watchdog {'on' if lv['watchdog_enabled'] else 'off'}"
+        )
+    if "tracing" in report:
+        tr = report["tracing"]
+        overlap = tr["overlap"]
+        imbalance = tr["imbalance"]
+        lines.append(
+            f"tracing: spans {tr['spans']}  dropped {tr['dropped']}  "
+            f"overlap efficiency {overlap['efficiency']:.3f} "
+            f"({overlap['hidden_seconds']:.4f}s of "
+            f"{overlap['exchange_seconds']:.4f}s exchange hidden)  "
+            f"step imbalance {imbalance['ratio']:.2f}x"
+        )
+    return lines
+
+
+def _main(argv: list[str]) -> int:
+    summary = False
+    files: list[str] = []
+    for arg in argv:
+        if arg == "--summary":
+            summary = True
+        elif arg in ("-h", "--help"):
+            files = []
+            break
+        else:
+            files.append(arg)
+    if not files:
+        print("usage: python -m repro.telemetry.report [--summary] "
+              "FILE [FILE...]\n"
               "Validate run-report JSON files against schema "
-              f"{_SCHEMA_NAME} v{RUN_REPORT_VERSION}.")
+              f"{_SCHEMA_NAME} v{RUN_REPORT_VERSION}; --summary prints a "
+              "human-readable table per report instead of one ok-line.")
         return 0 if argv else 2
     failed = 0
-    for name in argv:
+    for name in files:
         try:
             report = load_run_report(name)
         except (OSError, ValueError, json.JSONDecodeError) as exc:
             print(f"FAIL {name}: {exc}")
             failed += 1
         else:
-            print(f"ok   {name}: run_id={report['run_id']} "
-                  f"mlups={report['mlups']:.3f} ranks={report['ranks']}")
+            if summary:
+                print(f"=== {name} ===")
+                print("\n".join(summarize_run_report(report)))
+            else:
+                print(f"ok   {name}: run_id={report['run_id']} "
+                      f"mlups={report['mlups']:.3f} ranks={report['ranks']}")
     return 1 if failed else 0
 
 

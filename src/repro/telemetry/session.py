@@ -42,6 +42,20 @@ class RunTelemetry:
         stream too.
     log_level:
         Threshold of the log capture.
+    trace:
+        Span tracing switch (see :mod:`repro.telemetry.tracing`).
+        ``None`` (default) defers to the ``REPRO_TRACE`` environment
+        variable; ``True`` / ``False`` force it per run.  When on, every
+        rank records timestamped spans of its timed scopes, the spans
+        are gathered to rank 0, exported as a Chrome trace-event JSON
+        next to the run report, and the report gains a ``"tracing"``
+        section (overlap efficiency, per-rank imbalance, pipe latency).
+    trace_sample:
+        Keep one of every N spans (``None`` → ``REPRO_TRACE_SAMPLE``,
+        default keep all).
+    trace_buffer:
+        Per-rank span ring-buffer capacity (``None`` →
+        ``REPRO_TRACE_BUFFER``).
     """
 
     directory: str | Path | None = None
@@ -49,12 +63,36 @@ class RunTelemetry:
     heartbeat_every: int = 1
     capture_logs: bool = False
     log_level: int = logging.INFO
+    trace: bool | None = None
+    trace_sample: int | None = None
+    trace_buffer: int | None = None
 
     def __post_init__(self) -> None:
         if self.directory is not None:
             self.directory = Path(self.directory)
         if self.heartbeat_every < 1:
             raise ValueError("heartbeat_every must be >= 1")
+
+    def open_tracer(self, rank: int):
+        """Per-rank :class:`~repro.telemetry.tracing.SpanRecorder`.
+
+        ``None`` when tracing is off — the instance knobs override the
+        ``REPRO_TRACE*`` environment variables.  Every rank of a run
+        resolves the same configuration, so the span gather stays a
+        uniform collective.
+        """
+        from repro.telemetry.tracing import recorder_from_env
+
+        return recorder_from_env(
+            rank, trace=self.trace, sample=self.trace_sample,
+            buffer_size=self.trace_buffer,
+        )
+
+    def trace_path(self) -> Path | None:
+        """Where the Chrome trace-event JSON lands (``None`` in-memory)."""
+        if self.directory is None:
+            return None
+        return self.directory / f"trace-{self.run_id}.json"
 
     def open_events(self, rank: int) -> EventLog:
         """Per-rank event sink (file-backed when a directory is set)."""

@@ -92,6 +92,36 @@ class TestCountersAndHeartbeat:
         with pytest.raises(ValueError):
             registry.counter("c").add(-1)
 
+    def test_rolling_rate_zero_width_windows(self):
+        """Degenerate windows read 0.0 instead of dividing by zero.
+
+        Same-tick samples are real occurrences (coarse clocks, injected
+        ``now=`` values, a heartbeat firing twice without progress) and
+        every snapshot calls ``mlups_window``.
+        """
+        from repro.telemetry.counters import RollingRate
+
+        rate = RollingRate()
+        assert rate.mlups() == 0.0          # empty window
+        rate.sample(100, now=1.0)
+        assert rate.mlups() == 0.0          # single sample
+        rate.sample(200, now=1.0)
+        assert rate.mlups() == 0.0          # zero-width pair
+        rate.sample(300, now=1.0)
+        assert rate.mlups() == 0.0          # still zero-width
+        rate.sample(400, now=2.0)
+        # earliest sample strictly before the newest anchors the rate
+        assert rate.mlups() == pytest.approx((400 - 100) / 1.0 / 1e6)
+        # trailing same-tick duplicates of the newest stamp still work
+        rate.sample(500, now=2.0)
+        assert rate.mlups() == pytest.approx((500 - 100) / 1.0 / 1e6)
+
+    def test_snapshot_survives_zero_width_window(self):
+        registry = MetricsRegistry()
+        registry.rate.sample(10, now=5.0)
+        registry.rate.sample(20, now=5.0)
+        assert registry.snapshot()["mlups_window"] == 0.0
+
 
 class TestDistributedRunTelemetry:
     def test_two_rank_run_produces_full_telemetry(

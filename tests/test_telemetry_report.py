@@ -10,6 +10,7 @@ from repro.telemetry.report import (
     build_run_report,
     config_hash,
     load_run_report,
+    summarize_run_report,
     validate_run_report,
     write_run_report,
 )
@@ -117,3 +118,101 @@ class TestPersistence:
         bad = tmp_path / "bad.json"
         bad.write_text("{}")
         assert _main([str(bad)]) == 1
+
+
+TRACING = {
+    "spans": 40,
+    "overlap": {"exchange_seconds": 0.02, "hidden_seconds": 0.015,
+                "efficiency": 0.75},
+    "imbalance": {"per_rank": {"0": {"seconds": 0.1, "spans": 5},
+                               "1": {"seconds": 0.12, "spans": 5}},
+                  "max": 0.12, "min": 0.1, "avg": 0.11,
+                  "stddev": 0.01, "ratio": 1.09},
+}
+
+
+class TestTracingSection:
+    def test_tracing_stats_merge_and_validate(self):
+        report = make_report(tracing_stats=TRACING)
+        validate_run_report(report)
+        tracing = report["tracing"]
+        assert tracing["enabled"] is True
+        assert tracing["dropped"] == 0  # default survives the merge
+        assert tracing["pipe_latency"] is None
+        assert tracing["overlap"]["efficiency"] == 0.75
+
+    def test_absent_by_default(self):
+        assert "tracing" not in make_report()
+
+    def test_validate_rejects_broken_tracing(self):
+        report = make_report(tracing_stats=TRACING)
+        for mutate in (
+            lambda t: t.update(spans=-1),
+            lambda t: t.update(enabled="yes"),
+            lambda t: t["overlap"].update(efficiency=1.5),
+            lambda t: t["overlap"].pop("hidden_seconds"),
+            lambda t: t.update(pipe_latency=[1, 2]),
+            lambda t: t["imbalance"].update(ratio=-0.1),
+        ):
+            broken = json.loads(json.dumps(report))
+            mutate(broken["tracing"])
+            with pytest.raises(ValueError, match="tracing"):
+                validate_run_report(broken)
+
+
+class TestSummary:
+    def _full_report(self):
+        return make_report(
+            timings={
+                "name": "", "count": 0, "total": 0.0, "call_min": 0.0,
+                "call_max": 0.0, "rank_min": 0.0, "rank_max": 0.0,
+                "rank_avg": 0.0, "n_ranks": 2,
+                "children": {
+                    "compute": {
+                        "name": "compute", "count": 10, "total": 2.0,
+                        "call_min": 0.1, "call_max": 0.3,
+                        "rank_min": 0.9, "rank_max": 1.1, "rank_avg": 1.0,
+                        "n_ranks": 2, "children": {},
+                    },
+                    "comm": {
+                        "name": "comm", "count": 10, "total": 0.5,
+                        "call_min": 0.01, "call_max": 0.1,
+                        "rank_min": 0.2, "rank_max": 0.3, "rank_avg": 0.25,
+                        "n_ranks": 2, "children": {},
+                    },
+                },
+            },
+            counters={"cells_updated": 5120, "mlups": 0.42},
+            tracing_stats=TRACING,
+        )
+
+    def test_summary_lines(self):
+        lines = summarize_run_report(self._full_report())
+        text = "\n".join(lines)
+        assert "run t1" in lines[0] and "ranks 2" in lines[0]
+        # scopes sorted by total: compute before comm
+        assert text.index("compute") < text.index("comm")
+        assert "cells_updated" in text
+        assert "overlap efficiency 0.750" in text
+        assert "step imbalance 1.09x" in text
+
+    def test_summary_minimal_report(self):
+        # no timings/counters/optional sections: header + guards + faults
+        lines = summarize_run_report(make_report())
+        assert len(lines) == 3
+        assert "tracing" not in "\n".join(lines)
+
+    def test_cli_summary_mode(self, tmp_path, capsys):
+        from repro.telemetry.report import _main
+
+        path = tmp_path / "r.json"
+        write_run_report(path, self._full_report())
+        assert _main(["--summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "timing scopes" in out
+        assert "overlap efficiency" in out
+        assert "ok   " not in out  # summary replaces the ok-line
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert _main(["--summary", str(bad)]) == 1

@@ -202,3 +202,59 @@ class TestReduction:
         assert comp["total"] == pytest.approx(
             sum(0.1 * (r + 1) for r in range(n_ranks))
         )
+
+    def test_merge_mismatched_shapes(self):
+        """Scopes present on only some ranks merge without loss.
+
+        Real trees disagree across ranks: only the process backend
+        records ``comm/pipe/*``, only compiled ranks record ``compile``,
+        and a guard scope appears only where a guard fired.  The merge
+        must keep every scope, with ``n_ranks`` counting the ranks that
+        actually measured it.
+        """
+        a = TimingTree()
+        a.record("compute/phi", 0.2)
+        a.record("compile", 1.5)
+        b = TimingTree()
+        b.record("compute/phi", 0.4)
+        b.record("comm/pipe/send", 0.05)
+        merged = merge_rank_trees([a.to_dict(), b.to_dict()])
+        phi = merged["children"]["compute"]["children"]["phi"]
+        assert phi["n_ranks"] == 2
+        assert phi["total"] == pytest.approx(0.6)
+        compile_ = merged["children"]["compile"]
+        assert compile_["n_ranks"] == 1
+        assert compile_["rank_min"] == compile_["rank_max"] == pytest.approx(1.5)
+        send = merged["children"]["comm"]["children"]["pipe"]["children"]["send"]
+        assert send["n_ranks"] == 1
+        assert send["total"] == pytest.approx(0.05)
+
+    @pytest.mark.parametrize("n_ranks", [2, 3, 4])
+    def test_reduce_over_ranks_mismatched_shapes(self, n_ranks):
+        """Cross-rank reduction over genuinely different per-rank trees.
+
+        Every rank records a shared scope plus one scope unique to
+        itself (``rank<r>/only``); the pairwise log2(P) reduction must
+        deliver all of them to rank 0 with correct per-scope rank
+        counts — no KeyError when one side of a pairwise merge lacks a
+        child the other has.
+        """
+
+        def rank_main(comm):
+            tree = TimingTree()
+            tree.record("compute", 0.1)
+            tree.record(f"rank{comm.rank}/only", 0.01 * (comm.rank + 1))
+            if comm.rank % 2:
+                tree.record("odd_ranks_only", 0.5)
+            return reduce_tree_over_ranks(comm, tree)
+
+        results = run_spmd(n_ranks, rank_main)
+        merged = results[0]
+        assert merged["children"]["compute"]["n_ranks"] == n_ranks
+        for r in range(n_ranks):
+            only = merged["children"][f"rank{r}"]["children"]["only"]
+            assert only["n_ranks"] == 1
+            assert only["total"] == pytest.approx(0.01 * (r + 1))
+        odd = merged["children"]["odd_ranks_only"]
+        assert odd["n_ranks"] == n_ranks // 2
+        assert odd["total"] == pytest.approx(0.5 * (n_ranks // 2))
