@@ -25,7 +25,7 @@ import numpy as np
 from repro.grid.boundary import BoundarySpec
 from repro.simmpi.cart import CartComm
 
-__all__ = ["exchange_ghosts", "ExchangeTimer"]
+__all__ = ["exchange_ghosts", "exchange_block_ghosts", "ExchangeTimer"]
 
 
 class ExchangeTimer:
@@ -95,6 +95,50 @@ def _slab(arr: np.ndarray, dim: int, k: int, which: str, g: int = 1):
     return tuple(sl)
 
 
+def _validate_ghost(arr: np.ndarray, dim: int, g: int) -> None:
+    """Reject ghost widths the slab geometry cannot express.
+
+    The ``send_lo`` slab is ``slice(g, 2g)``, so every exchanged axis
+    needs at least *g* interior cells — a ghosted extent below ``3g``
+    would silently send ghost (or wrapped-around) cells as if they were
+    interior, which is exactly the corruption this check turns into an
+    error.
+    """
+    if g < 1:
+        raise ValueError(f"ghost width must be >= 1, got {g}")
+    for k in range(dim):
+        extent = arr.shape[arr.ndim - dim + k]
+        if extent < 3 * g:
+            raise ValueError(
+                f"ghost width {g} unsupported: axis {k} has ghosted "
+                f"extent {extent} < 3*{g} (fewer interior cells than "
+                "ghost layers)"
+            )
+
+
+def _recv_completions(comm):
+    """The receive-posting/completion pair of one exchange.
+
+    Prefers ``irecv_into`` (both simmpi backends): the payload lands in
+    the ghost slice in a single copy — on the process backend straight
+    out of the staged shared-memory segment, eliminating the legacy
+    materialize-then-assign double copy.  Falls back to
+    ``irecv``/``wait`` + slab assignment for foreign communicators.
+    """
+    irecv_into = getattr(comm, "irecv_into", None)
+    if irecv_into is not None:
+        return (lambda view, source, tag: irecv_into(view, source, tag),
+                lambda _view, req: req.wait())
+
+    def post(view, source, tag):
+        return comm.irecv(source, tag=tag)
+
+    def complete(view, req):
+        view[...] = req.wait()
+
+    return post, complete
+
+
 def exchange_ghosts(
     cart: CartComm,
     arr: np.ndarray,
@@ -103,47 +147,64 @@ def exchange_ghosts(
     *,
     tag_base: int = 0,
     timer: ExchangeTimer | None = None,
+    ghost: int = 1,
+    halo=None,
 ) -> None:
     """Fill all ghost layers of *arr* from neighbours or boundaries.
 
     *spec* provides the handlers for non-periodic domain edges; periodic
     axes wrap through the cartesian topology (which may be a
-    self-neighbour when the axis has a single rank).
+    self-neighbour when the axis has a single rank).  *ghost* is the
+    field's ghost-layer width (it must match the array's allocation).
+    *halo* — a :class:`repro.distributed.halo.CartHaloRegistry` — routes
+    the axis rounds through persistent registered channels instead of
+    staged per-slab messages (one notify per neighbour per direction,
+    no acks); results are bitwise identical.
     """
     comm = cart.comm
+    g = int(ghost)
+    _validate_ghost(arr, dim, g)
     t0 = time.perf_counter()
     nbytes = 0
     nmsg = 0
+    post, complete = _recv_completions(comm) if halo is None else (None, None)
     for k in range(dim):
         lo_rank, hi_rank = cart.shift(k, 1)  # (source=low side, dest=high side)
-        tag_lo = tag_base + 2 * k
-        tag_hi = tag_base + 2 * k + 1
-        # Post receives BEFORE sending (Algorithm 2 discipline).  The
-        # thread backend buffers unboundedly so ordering is cosmetic
-        # there, but under the process backend's bounded channels a
-        # blocked sender only makes progress by completing the *peer's*
-        # posted receives — send-first would genuinely deadlock once a
-        # slab exceeds the channel capacity.
-        reqs = []
-        if lo_rank is not None:
-            reqs.append(("recv_lo", comm.irecv(lo_rank, tag=tag_hi)))
-        if hi_rank is not None:
-            reqs.append(("recv_hi", comm.irecv(hi_rank, tag=tag_lo)))
-        # Send the (possibly strided) slab views directly: both backends
-        # snapshot the payload at send time, so an extra
-        # ascontiguousarray here would just double the copies.
-        if hi_rank is not None:
-            payload = arr[_slab(arr, dim, k, "send_hi")]
-            comm.send(payload, hi_rank, tag=tag_hi)
-            nbytes += payload.nbytes
-            nmsg += 1
-        if lo_rank is not None:
-            payload = arr[_slab(arr, dim, k, "send_lo")]
-            comm.send(payload, lo_rank, tag=tag_lo)
-            nbytes += payload.nbytes
-            nmsg += 1
-        for which, req in reqs:
-            arr[_slab(arr, dim, k, which)] = req.wait()
+        if halo is not None:
+            b, m = halo.exchange_axis(arr, k, g)
+            nbytes += b
+            nmsg += m
+        else:
+            tag_lo = tag_base + 2 * k
+            tag_hi = tag_base + 2 * k + 1
+            # Post receives BEFORE sending (Algorithm 2 discipline).  The
+            # thread backend buffers unboundedly so ordering is cosmetic
+            # there, but under the process backend's bounded channels a
+            # blocked sender only makes progress by completing the *peer's*
+            # posted receives — send-first would genuinely deadlock once a
+            # slab exceeds the channel capacity.
+            reqs = []
+            if lo_rank is not None:
+                view = arr[_slab(arr, dim, k, "recv_lo", g)]
+                reqs.append((view, post(view, lo_rank, tag_hi)))
+            if hi_rank is not None:
+                view = arr[_slab(arr, dim, k, "recv_hi", g)]
+                reqs.append((view, post(view, hi_rank, tag_lo)))
+            # Send the (possibly strided) slab views directly: both backends
+            # snapshot the payload at send time, so an extra
+            # ascontiguousarray here would just double the copies.
+            if hi_rank is not None:
+                payload = arr[_slab(arr, dim, k, "send_hi", g)]
+                comm.send(payload, hi_rank, tag=tag_hi)
+                nbytes += payload.nbytes
+                nmsg += 1
+            if lo_rank is not None:
+                payload = arr[_slab(arr, dim, k, "send_lo", g)]
+                comm.send(payload, lo_rank, tag=tag_lo)
+                nbytes += payload.nbytes
+                nmsg += 1
+            for view, req in reqs:
+                complete(view, req)
         # non-periodic domain edges: boundary handlers
         lo_h, hi_h = spec.handlers[k]
         if lo_rank is None:
@@ -168,6 +229,8 @@ def exchange_block_ghosts(
     *,
     tag_base: int = 1000,
     timer: ExchangeTimer | None = None,
+    ghost: int = 1,
+    halo=None,
 ) -> None:
     """Ghost exchange for several blocks per rank (waLBerla style).
 
@@ -177,11 +240,25 @@ def exchange_block_ghosts(
     any number of blocks per rank coexist on one communicator.  Axes are
     processed in dimensional order across all local blocks, keeping edge
     and corner ghosts consistent.
+
+    *ghost* is the fields' ghost-layer width.  *halo* — a
+    :class:`repro.distributed.halo.BlockHaloRegistry` — takes over the
+    whole exchange through persistent registered channels: all slabs
+    headed to one neighbour in one axis direction travel as a single
+    packed buffer plus one notify, no per-message acks or segment
+    checkouts, bitwise-identical results.
     """
+    g = int(ghost)
+    for arr in arrays.values():
+        _validate_ghost(arr, dim, g)
+    if halo is not None:
+        halo.exchange(arrays, spec, ghost=g, timer=timer)
+        return
     t0 = time.perf_counter()
     nbytes = 0
     nmsg = 0
     rank = comm.rank
+    post, complete = _recv_completions(comm)
     for k in range(dim):
         # 1) post all remote receives for this axis first — required for
         #    deadlock freedom under the process backend's bounded
@@ -195,9 +272,9 @@ def exchange_block_ghosts(
                 if nb is None or _owner_of(owner, nb.id) == rank:
                     continue
                 tag = tag_base + (bid * dim + k) * 2 + side
+                view = arr[_slab(arr, dim, k, recv_which, g)]
                 reqs.append((
-                    arr, recv_which,
-                    comm.irecv(_owner_of(owner, nb.id), tag=tag),
+                    view, post(view, _owner_of(owner, nb.id), tag),
                 ))
         # 2) post all remote sends (slab views; both backends snapshot
         #    at send time, so no ascontiguousarray copy is needed)
@@ -213,7 +290,7 @@ def exchange_block_ghosts(
                 dest_rank = _owner_of(owner, nb.id)
                 if dest_rank == rank:
                     continue  # handled by the local-copy pass
-                payload = arr[_slab(arr, dim, k, send_which)]
+                payload = arr[_slab(arr, dim, k, send_which, g)]
                 tag = tag_base + (nb.id * dim + k) * 2 + dest_side
                 comm.send(payload, dest_rank, tag=tag)
                 nbytes += payload.nbytes
@@ -227,12 +304,12 @@ def exchange_block_ghosts(
                     continue
                 src = arrays[nb.id]
                 send_which = "send_hi" if side == 0 else "send_lo"
-                arr[_slab(arr, dim, k, recv_which)] = src[
-                    _slab(src, dim, k, send_which)
+                arr[_slab(arr, dim, k, recv_which, g)] = src[
+                    _slab(src, dim, k, send_which, g)
                 ]
         # 4) complete the posted receives for this axis
-        for arr, recv_which, req in reqs:
-            arr[_slab(arr, dim, k, recv_which)] = req.wait()
+        for view, req in reqs:
+            complete(view, req)
         # 5) boundary handlers at non-periodic domain edges
         lo_h, hi_h = spec.handlers[k]
         for bid, arr in arrays.items():

@@ -1,0 +1,339 @@
+"""Persistent registered halo channels over the simmpi backends.
+
+The legacy exchange path pays, per slab message and per step, a staging
+segment checkout, a pickle or ``copyto`` snapshot, a control-pipe round
+trip and an ack (process backend), plus a receive-side copy into the
+ghost slice.  This module moves all of that to *setup time*, mirroring
+waLBerla's preregistered communication buffers and the MPI
+persistent-request idiom the paper's production code relies on: at
+topology construction every rank registers one double-buffered channel
+per (neighbour, axis, direction) — a shared-memory segment on the
+process backend, a plain shared ndarray on the thread backend — sized
+once from the ghosted field shapes and reused every step.
+
+A steady-state exchange round then packs the slab views of *all* fields
+and blocks headed to one neighbour in one axis direction into the
+registered buffer (vectorized, contiguous), sends **one** tiny notify
+message carrying a sequence number, and unpacks on the receiver straight
+into the ghost slices: ``2 * dim * n_fields`` staged messages plus acks
+per step collapse into one notification per neighbour per axis
+direction, with zero acks and zero segment checkouts.
+
+Slot reuse without acks is safe because exchange rounds are lockstep —
+see :class:`repro.simmpi.comm.HaloSendChannel` for the inductive
+argument; the sequence number travelling in every notify turns any
+violation of that discipline into a loud ``RuntimeError`` instead of a
+silent stale-data unpack.
+
+Both sides derive channel ids, capacities and pack plans
+deterministically from the shared topology (block forest + ownership, or
+cartesian grid), so registration needs no negotiation: every rank first
+announces all its send channels (non-blocking) and then accepts all its
+receive channels (blocking), which is deadlock-free in any order.
+
+``REPRO_SIMMPI_HALO_CHANNELS=0`` opts out (for A/B benchmarking against
+the legacy staged path); the default is on.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.distributed.exchange import _slab
+
+__all__ = [
+    "BlockHaloRegistry",
+    "CartHaloRegistry",
+    "halo_channels_enabled",
+]
+
+
+def halo_channels_enabled(override: bool | None = None) -> bool:
+    """Resolve the halo-channel switch (param beats env, default on)."""
+    if override is not None:
+        return bool(override)
+    return os.environ.get("REPRO_SIMMPI_HALO_CHANNELS", "1") not in ("", "0")
+
+
+def _slab_elements(n_comps: int, shape, axis: int, g: int) -> int:
+    """Element count of one exchange slab of a block.
+
+    The slab spans *g* cells along *axis* and the full ghosted extent of
+    every other spatial axis (dimensional-ordering exchange), times the
+    leading component axis.
+    """
+    n = int(n_comps) * int(g)
+    for i, s in enumerate(shape):
+        if i != axis:
+            n *= int(s) + 2 * int(g)
+    return n
+
+
+def _capacity(pairs, shapes, axis: int, streams) -> int:
+    """Channel capacity in elements: the largest per-round packed size
+    over all field streams sharing the channel."""
+    best = 0
+    for n_comps, g in streams:
+        total = sum(
+            _slab_elements(n_comps, shapes[bid], axis, g)
+            for bid, _nb in pairs
+        )
+        best = max(best, total)
+    return best
+
+
+def _pack(slot: np.ndarray, views) -> int:
+    """Pack slab *views* contiguously into *slot*; returns elements used."""
+    offset = 0
+    for view in views:
+        n = view.size
+        np.copyto(slot[offset:offset + n].reshape(view.shape), view)
+        offset += n
+    return offset
+
+
+def _unpack(slot: np.ndarray, views) -> int:
+    """Scatter *slot* back into slab *views*; returns elements consumed."""
+    offset = 0
+    for view in views:
+        n = view.size
+        np.copyto(view, slot[offset:offset + n].reshape(view.shape))
+        offset += n
+    return offset
+
+
+class BlockHaloRegistry:
+    """Halo channels of a block-forest decomposition (waLBerla style).
+
+    One send and/or receive channel per (peer rank, axis, direction),
+    shared by every field stream and every block pair crossing that
+    rank boundary; *streams* — ``[(n_components, ghost_width), ...]`` —
+    sizes the channels once for the largest stream.  Construction is
+    collective over the communicator.
+
+    :meth:`exchange` is the drop-in fast path of
+    :func:`repro.distributed.exchange.exchange_block_ghosts`: identical
+    dimensional ordering, identical local-copy and boundary handling,
+    bitwise-identical results — only the remote transport differs.
+    """
+
+    def __init__(self, comm, forest, owner, dim: int, streams,
+                 dtype=np.float64) -> None:
+        self.comm = comm
+        self.forest = forest
+        self.owner = list(owner)
+        self.dim = int(dim)
+        self.streams = [(int(c), int(g)) for c, g in streams]
+        if not self.streams:
+            raise ValueError("halo registry needs at least one field stream")
+        rank = comm.rank
+        shapes = {b.id: tuple(b.shape) for b in forest.blocks}
+
+        # Deterministic plans, derived identically on both endpoints:
+        # pairs are (sender block id, receiver block id), sorted by the
+        # sender's block id so packer and unpacker agree on slot layout.
+        send_plans: dict[tuple, list] = {}
+        recv_plans: dict[tuple, list] = {}
+        self._local: dict[int, list] = {k: [] for k in range(self.dim)}
+        self._edges: dict[int, list] = {k: [] for k in range(self.dim)}
+        for axis in range(self.dim):
+            for b in forest.blocks:
+                mine = self.owner[b.id] == rank
+                for side in (0, 1):
+                    nb = forest.neighbor(b, axis, side)
+                    if nb is None:
+                        if mine:
+                            self._edges[axis].append((b.id, side))
+                        continue
+                    nb_rank = self.owner[nb.id]
+                    if mine and nb_rank == rank:
+                        # Same-rank neighbour (possibly the block itself
+                        # on a single-block periodic axis): direct copy,
+                        # recorded once per receiving side.
+                        self._local[axis].append((b.id, nb.id, side))
+                        continue
+                    if mine and nb_rank != rank:
+                        key = (nb_rank, axis, side)
+                        send_plans.setdefault(key, []).append((b.id, nb.id))
+                    elif not mine and nb_rank == rank:
+                        key = (self.owner[b.id], axis, side)
+                        recv_plans.setdefault(key, []).append((b.id, nb.id))
+
+        # All send endpoints announce first (non-blocking), then every
+        # receive endpoint blocks on its registration message — no
+        # ordering constraint between ranks, hence no deadlock.
+        self._send: dict[tuple, object] = {}
+        self._recv: dict[tuple, object] = {}
+        self._send_plans = send_plans
+        self._recv_plans = recv_plans
+        for key in sorted(send_plans):
+            peer, axis, side = key
+            cap = _capacity(send_plans[key], shapes, axis, self.streams)
+            self._send[key] = comm.register_halo(
+                peer, axis * 2 + side, cap, dtype
+            )
+        for key in sorted(recv_plans):
+            peer, axis, side = key
+            self._recv[key] = comm.accept_halo(peer, axis * 2 + side)
+
+        # Per-axis channel orderings of the steady-state loop.
+        self._send_by_axis = {
+            k: [(key, self._send[key]) for key in sorted(self._send)
+                if key[1] == k]
+            for k in range(self.dim)
+        }
+        self._recv_by_axis = {
+            k: [(key, self._recv[key]) for key in sorted(self._recv)
+                if key[1] == k]
+            for k in range(self.dim)
+        }
+
+    @property
+    def n_channels(self) -> int:
+        """Registered channel endpoints on this rank (send + recv)."""
+        return len(self._send) + len(self._recv)
+
+    def exchange(self, arrays: dict[int, np.ndarray], spec, *,
+                 ghost: int = 1, timer=None) -> None:
+        """Fill every ghost layer of *arrays* through the registered
+        channels; same contract as ``exchange_block_ghosts``."""
+        import time as _time
+
+        t0 = _time.perf_counter()
+        g = int(ghost)
+        dim = self.dim
+        itemsize = next(iter(arrays.values())).itemsize if arrays else 8
+        nbytes = 0
+        nmsg = 0
+        for k in range(dim):
+            # 1) pack + notify every outgoing channel of this axis (the
+            #    snapshot happens here, exactly where the legacy path
+            #    snapshots its sends, so results match bitwise).
+            for (peer, axis, side), ch in self._send_by_axis[k]:
+                which = "send_hi" if side == 1 else "send_lo"
+                used = _pack(ch.slot(), (
+                    arrays[bid][_slab(arrays[bid], dim, k, which, g)]
+                    for bid, _nb in self._send_plans[(peer, axis, side)]
+                ))
+                ch.notify(used)
+                nbytes += used * itemsize
+                nmsg += 1
+            # 2) local copies between same-rank neighbours
+            for bid, nb_id, side in self._local[k]:
+                arr = arrays[bid]
+                src = arrays[nb_id]
+                recv_which = "recv_lo" if side == 0 else "recv_hi"
+                send_which = "send_hi" if side == 0 else "send_lo"
+                arr[_slab(arr, dim, k, recv_which, g)] = src[
+                    _slab(src, dim, k, send_which, g)
+                ]
+            # 3) wait for every incoming channel, unpack straight into
+            #    the ghost slices (single copy out of the slot).
+            for (peer, axis, side), ch in self._recv_by_axis[k]:
+                slot = ch.wait()
+                # The sender's high edge fills my low ghost and vice
+                # versa; *side* is the sender's.
+                which = "recv_lo" if side == 1 else "recv_hi"
+                _unpack(slot, (
+                    arrays[nb_id][_slab(arrays[nb_id], dim, k, which, g)]
+                    for _bid, nb_id in self._recv_plans[(peer, axis, side)]
+                ))
+            # 4) boundary handlers at non-periodic domain edges
+            lo_h, hi_h = spec.handlers[k]
+            for bid, side in self._edges[k]:
+                (lo_h if side == 0 else hi_h).apply(arrays[bid], dim, k, side)
+        if timer is not None:
+            timer.add(_time.perf_counter() - t0, nbytes, nmsg)
+
+
+class CartHaloRegistry:
+    """Halo channels of a one-block-per-rank cartesian decomposition.
+
+    The fast-path twin of
+    :func:`repro.distributed.exchange.exchange_ghosts`: one channel per
+    (neighbour, axis, direction) derived from ``cart.shift``, with
+    self-neighbours (single-rank periodic axes) handled by direct
+    interior-to-ghost copies.  *spatial_shape* is the local interior
+    cell count, *streams* the ``(n_components, ghost)`` field streams
+    sharing the channels.
+    """
+
+    def __init__(self, cart, dim: int, spatial_shape, streams,
+                 dtype=np.float64) -> None:
+        self.cart = cart
+        self.comm = cart.comm
+        self.dim = int(dim)
+        self.shape = tuple(int(s) for s in spatial_shape)
+        self.streams = [(int(c), int(g)) for c, g in streams]
+        if not self.streams:
+            raise ValueError("halo registry needs at least one field stream")
+        rank = self.comm.rank
+        # links[k] = (lo_rank, hi_rank); None at non-periodic edges.
+        self._links = [cart.shift(k, 1) for k in range(self.dim)]
+        sends = []   # (axis, side, dest)
+        recvs = []   # (axis, side_of_sender, source)
+        for k, (lo, hi) in enumerate(self._links):
+            if hi is not None and hi != rank:
+                sends.append((k, 1, hi))
+            if lo is not None and lo != rank:
+                sends.append((k, 0, lo))
+            # My low ghost is filled by the low neighbour's high edge.
+            if lo is not None and lo != rank:
+                recvs.append((k, 1, lo))
+            if hi is not None and hi != rank:
+                recvs.append((k, 0, hi))
+        self._send: dict[tuple, object] = {}
+        self._recv: dict[tuple, object] = {}
+        for k, side, dest in sorted(sends):
+            cap = max(
+                _slab_elements(c, self.shape, k, g) for c, g in self.streams
+            )
+            self._send[(k, side)] = self.comm.register_halo(
+                dest, k * 2 + side, cap, dtype
+            )
+        for k, side, source in sorted(recvs):
+            self._recv[(k, side)] = self.comm.accept_halo(
+                source, k * 2 + side
+            )
+
+    @property
+    def n_channels(self) -> int:
+        """Registered channel endpoints on this rank (send + recv)."""
+        return len(self._send) + len(self._recv)
+
+    def exchange_axis(self, arr: np.ndarray, k: int,
+                      g: int = 1) -> tuple[int, int]:
+        """One axis round over the channels; returns ``(nbytes, nmsg)``.
+
+        Boundary handling at non-periodic edges stays with the caller
+        (:func:`exchange_ghosts`), which knows the boundary spec.
+        """
+        rank = self.comm.rank
+        lo, hi = self._links[k]
+        nbytes = 0
+        nmsg = 0
+        dim = self.dim
+        for side, which in ((1, "send_hi"), (0, "send_lo")):
+            ch = self._send.get((k, side))
+            if ch is None:
+                continue
+            used = _pack(ch.slot(), (arr[_slab(arr, dim, k, which, g)],))
+            ch.notify(used)
+            nbytes += used * arr.itemsize
+            nmsg += 1
+        if lo == rank and hi == rank:
+            # Single-rank periodic axis: wrap by direct copy.
+            arr[_slab(arr, dim, k, "recv_lo", g)] = arr[
+                _slab(arr, dim, k, "send_hi", g)
+            ]
+            arr[_slab(arr, dim, k, "recv_hi", g)] = arr[
+                _slab(arr, dim, k, "send_lo", g)
+            ]
+        for side, which in ((1, "recv_lo"), (0, "recv_hi")):
+            ch = self._recv.get((k, side))
+            if ch is None:
+                continue
+            _unpack(ch.wait(), (arr[_slab(arr, dim, k, which, g)],))
+        return nbytes, nmsg

@@ -38,6 +38,7 @@ from repro.core.kernels import (
 from repro.core.parameters import PhaseFieldParameters
 from repro.core.temperature import ConstantTemperature, FrozenTemperature
 from repro.distributed.exchange import ExchangeTimer, exchange_block_ghosts
+from repro.distributed.halo import BlockHaloRegistry, halo_channels_enabled
 from repro.grid.balance import assign_blocks
 from repro.grid.blockforest import BlockForest
 from repro.grid.boundary import BoundarySpec, Dirichlet, Neumann
@@ -112,6 +113,15 @@ class DistributedSimulation:
         OS process per rank, field buffers in shared memory, kernels
         genuinely parallel).  Results are bitwise identical between the
         two: per-block arithmetic does not depend on where a rank runs.
+    halo_channels:
+        Route ghost exchange through persistent registered halo
+        channels (see :mod:`repro.distributed.halo`) — one packed
+        buffer + one notify per neighbour per axis direction instead of
+        per-slab staged messages with acks.  ``None`` (default) follows
+        ``REPRO_SIMMPI_HALO_CHANNELS`` (opt-out, on unless ``0``);
+        results are bitwise identical either way.  Fault-injected runs
+        always use the legacy path so every message stays visible to
+        the injection layer.
     """
 
     def __init__(
@@ -128,6 +138,7 @@ class DistributedSimulation:
         n_ranks: int | None = None,
         balance_strategy: str = "contiguous",
         backend: str = "thread",
+        halo_channels: bool | None = None,
     ):
         self.shape = tuple(shape)
         self.dim = len(shape)
@@ -149,6 +160,7 @@ class DistributedSimulation:
         self.kernel = kernel
         self.overlap = overlap
         self.backend = backend
+        self.halo_channels = halo_channels
         periodicity = tuple([True] * (self.dim - 1) + [False])
         self.forest = BlockForest(self.shape, tuple(blocks_per_axis), periodicity)
         self.n_ranks = self.forest.n_blocks if n_ranks is None else int(n_ranks)
@@ -205,6 +217,7 @@ class DistributedSimulation:
             n_ranks=n_ranks,
             balance_strategy=self.balance_strategy,
             backend=self.backend,
+            halo_channels=self.halo_channels,
         )
 
     def topology(self) -> dict:
@@ -368,6 +381,10 @@ class DistributedSimulation:
                 "kernel": self.kernel,
                 "overlap": self.overlap,
                 "backend": self.backend,
+                "halo_channels": (
+                    halo_channels_enabled(self.halo_channels)
+                    and fault_plan is None
+                ),
                 "guard": guard,
                 "dt": self.params.dt,
             },
@@ -560,11 +577,31 @@ class DistributedSimulation:
         tracer = tree.tracer if tree is not None else None
         _pc = _time.perf_counter
 
+        ghost = next(iter(phi_fields.values())).ghost if phi_fields else 1
+        halo_reg = None
+        if halo_channels_enabled(self.halo_channels) and fault_plan is None:
+            # Collective: every rank registers its send channels and
+            # accepts its receive channels here, once — the steady-state
+            # loop then runs ack- and staging-free.  Fault-injected runs
+            # keep the legacy path so FaultyComm sees every message.
+            halo_reg = BlockHaloRegistry(
+                comm, self.forest, self.owner, self.dim,
+                streams=[
+                    (self.system.n_phases, ghost),
+                    (self.system.n_solutes, ghost),
+                ],
+            )
+            if events is not None:
+                events.emit(
+                    "halo_channels_registered",
+                    channels=halo_reg.n_channels,
+                )
+
         def exchange(fields: dict[int, Field], buffer: str, spec, tag, timer):
             arrays = {bid: getattr(f, buffer) for bid, f in fields.items()}
             exchange_block_ghosts(
                 comm, self.forest, self.owner, arrays, self.dim, spec,
-                tag_base=tag, timer=timer,
+                tag_base=tag, timer=timer, ghost=ghost, halo=halo_reg,
             )
 
         exchange(phi_fields, "src", self.phi_bc, 1000, timer_phi)
@@ -574,6 +611,13 @@ class DistributedSimulation:
         time_now = t0
         mu_ghosts_stale = False
         note_progress = getattr(comm, "note_progress", None)
+        # Transport counters snapshotted around the step loop: the diff
+        # is the *steady-state* control-message cost (registration and
+        # initial exchanges excluded) the fig7 report gates on.
+        counters0 = (
+            comm.transport_counters()
+            if hasattr(comm, "transport_counters") else None
+        )
         for local_step in range(steps):
             global_step = step0 + local_step
             # Whole-step spans are recorded to the tracer only (not the
@@ -775,6 +819,20 @@ class DistributedSimulation:
             registry.counter("halo_messages").add(
                 timer_phi.messages + timer_mu.messages
             )
+            if counters0 is not None:
+                # Steady-state transport traffic of the step loop alone
+                # (zeros on the thread backend, so report shapes agree).
+                counters1 = comm.transport_counters()
+                registry.counter("pipe_messages").add(
+                    counters1["pipe_messages"] - counters0["pipe_messages"]
+                )
+                registry.counter("halo_acks").add(
+                    counters1["acks"] - counters0["acks"]
+                )
+                registry.counter("segments_created").add(
+                    counters1["segments_created"]
+                    - counters0["segments_created"]
+                )
             events.emit(
                 "run_end",
                 steps_done=steps,

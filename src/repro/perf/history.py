@@ -45,9 +45,13 @@ __all__ = [
 
 HISTORY_VERSION = 1
 
-#: Metric-name fragments that mean "lower is better" (durations).  The
-#: default direction is "higher is better" (rates: MLUP/s, efficiency).
-_LOWER_IS_BETTER = ("seconds", "_ms", "_us", "latency")
+#: Metric-name fragments that mean "lower is better": durations, plus
+#: the steady-state communication counters (pipe messages, acks, fresh
+#: segments) — more of any of those per step is a transport regression.
+#: The default direction is "higher is better" (rates: MLUP/s,
+#: efficiency).
+_LOWER_IS_BETTER = ("seconds", "_ms", "_us", "latency",
+                    "messages", "acks", "segments")
 
 
 def machine_fingerprint() -> str:

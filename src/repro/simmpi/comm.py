@@ -23,6 +23,8 @@ __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "Communicator",
+    "HaloRecvChannel",
+    "HaloSendChannel",
     "Request",
     "CommStats",
     "RemoteError",
@@ -294,6 +296,148 @@ class _World:
                 self._shrink_cond.wait(timeout=_POLL)
 
 
+def _halo_tags(channel_id: int) -> tuple[int, int]:
+    """``(notify_tag, register_tag)`` of halo channel *channel_id*.
+
+    Halo channels live in a reserved negative-tag band below the
+    collective tags, two tags per channel, so notify and registration
+    messages can never collide with user traffic (non-negative tags) or
+    with each other: channel identity plus message role is fully encoded
+    in the ``(source, tag)`` pair the mailbox already matches on.
+    """
+    if channel_id < 0:
+        raise ValueError(f"invalid halo channel id {channel_id}")
+    base = _TAG_HALO_BASE - 2 * channel_id
+    return base, base - 1
+
+
+class HaloSendChannel:
+    """Sender endpoint of a persistent registered halo channel.
+
+    One channel per (neighbour, axis, direction), allocated once at
+    topology setup and reused every step: two payload slots (double
+    buffering) plus a monotonically increasing sequence counter.  A
+    steady-state halo exchange packs the outgoing slab(s) into the
+    current slot and sends **one** tiny notify message — no per-message
+    ack, no segment checkout.
+
+    Slot reuse is safe without acks because exchange rounds are
+    lockstep: the sender only reaches sequence ``n + 2`` (the same slot
+    as ``n``) after completing round ``n + 1``, which required the
+    peer's round-``n + 1`` notify, which the peer only sends after fully
+    finishing round ``n`` — including consuming this channel's slot
+    ``n``.  The sequence number travelling in every notify lets the
+    receiver verify that discipline and fail loudly on a protocol skew
+    instead of silently unpacking stale data.
+
+    This base class is the thread-backend implementation (the two ranks
+    share one address space, so the slots are a plain ndarray handed to
+    the receiver by reference); the process backend subclasses it to
+    place the slots in a named shared-memory segment (see
+    :mod:`repro.simmpi.transport`).
+    """
+
+    def __init__(self, comm, dest: int, channel_id: int, capacity: int,
+                 dtype=np.float64) -> None:
+        if capacity < 1:
+            raise ValueError("halo channel capacity must be >= 1 element")
+        self.dest = dest
+        self.channel_id = channel_id
+        self.capacity = int(capacity)
+        self.dtype = np.dtype(dtype)
+        self.seq = 0
+        self.notify_tag, self.reg_tag = _halo_tags(channel_id)
+        self._comm = comm
+        self._slots = self._allocate(comm)
+        self._announce(comm)
+
+    # -- backend hooks -------------------------------------------------------
+
+    def _allocate(self, comm) -> np.ndarray:
+        """Allocate the ``(2, capacity)`` slot array (thread: plain heap)."""
+        return np.empty((2, self.capacity), dtype=self.dtype)
+
+    def _announce(self, comm) -> None:
+        """Ship the registration record to the receiver.
+
+        The slot array rides inside a tuple on purpose: the mailbox only
+        snapshots bare ndarray payloads, so the receiver ends up holding
+        a *reference* to the very same buffer — that aliasing is the
+        channel.
+        """
+        comm.send(
+            ("haloreg", self.channel_id, self.capacity, self.dtype.str,
+             self._slots),
+            self.dest, tag=self.reg_tag,
+        )
+
+    # -- steady-state protocol -----------------------------------------------
+
+    def slot(self) -> np.ndarray:
+        """Flat view of the slot the next :meth:`notify` will publish."""
+        return self._slots[self.seq % 2]
+
+    def notify(self, used: int | None = None) -> None:
+        """Publish the current slot: one tiny control message, no ack.
+
+        *used* (the packed element count) is ignored here — the receiver
+        aliases the whole slot — but the degraded process-backend channel
+        needs it to snapshot only the live prefix into its inline
+        fallback message.
+        """
+        self._comm.send(self.seq, self.dest, tag=self.notify_tag)
+        self.seq += 1
+
+
+class HaloRecvChannel:
+    """Receiver endpoint of a persistent registered halo channel.
+
+    Constructed by :meth:`Communicator.accept_halo`, which blocks on the
+    sender's registration message; thereafter :meth:`wait` blocks on one
+    notify per exchange round and returns a view of the published slot
+    for the caller to unpack straight into its ghost slices.
+    """
+
+    def __init__(self, comm, source: int, channel_id: int) -> None:
+        self.source = source
+        self.channel_id = channel_id
+        self.seq = 0
+        self.notify_tag, self.reg_tag = _halo_tags(channel_id)
+        self._comm = comm
+        reg = comm.recv(source, tag=self.reg_tag)
+        kind = reg[0] if isinstance(reg, tuple) else None
+        if kind != "haloreg" or reg[1] != channel_id:
+            raise RuntimeError(
+                f"halo channel {channel_id} from rank {source}: malformed "
+                f"registration message {reg!r}"
+            )
+        _, _, self.capacity, dtypestr, handle = reg
+        self.dtype = np.dtype(dtypestr)
+        self._slots = self._attach(handle)
+
+    def _attach(self, handle) -> np.ndarray:
+        """Resolve the registration handle to the slot array (thread:
+        the handle *is* the sender's array, shared by reference)."""
+        return handle
+
+    def wait(self) -> np.ndarray:
+        """Block for the next notify; returns a flat view of its slot.
+
+        The view is only valid until the peer's next-next round begins
+        (double buffering) — callers must unpack before returning to the
+        exchange loop, which every exchange routine here does.
+        """
+        seq = self._comm.recv(self.source, tag=self.notify_tag)
+        if seq != self.seq:
+            raise RuntimeError(
+                f"halo channel {self.channel_id} from rank {self.source}: "
+                f"expected sequence {self.seq}, got {seq} — exchange rounds "
+                "out of lockstep (registered and legacy paths mixed?)"
+            )
+        self.seq += 1
+        return self._slots[seq % 2]
+
+
 @dataclass
 class Request:
     """Handle for a non-blocking operation."""
@@ -363,6 +507,30 @@ class Communicator:
         return Request(
             _ready=False, _fn=lambda: self.recv(source, tag)
         )
+
+    def irecv_into(self, out: np.ndarray, source: int = ANY_SOURCE,
+                   tag: int = ANY_TAG) -> Request:
+        """Non-blocking receive completing directly into the view *out*.
+
+        The thread backend already snapshots payloads at send time, so
+        this is the same single copy as ``out[...] = irecv().wait()`` —
+        the API exists so exchange code can use one completion style on
+        both backends; on the process backend it is what removes the
+        receive-side double copy of shared-memory payloads.
+        """
+
+        def complete():
+            payload = self.recv(source, tag)
+            if (isinstance(payload, np.ndarray)
+                    and payload.shape != out.shape):
+                raise ValueError(
+                    f"irecv_into shape mismatch: message {payload.shape}"
+                    f" vs destination {out.shape}"
+                )
+            out[...] = payload
+            return out
+
+        return Request(_ready=False, _fn=complete)
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
         """True when a matching message is already queued."""
@@ -495,12 +663,43 @@ class Communicator:
         res = self.reduce(obj, op=op, root=0)
         return self.bcast(res, root=0)
 
+    # -- persistent halo channels --------------------------------------------
+
+    def register_halo(self, dest: int, channel_id: int, capacity: int,
+                      dtype=np.float64) -> HaloSendChannel:
+        """Create + announce the sender endpoint of a halo channel.
+
+        *capacity* is in elements of *dtype*; the channel holds two
+        slots of that size (double buffering).  The matching receiver
+        must call :meth:`accept_halo` with the same *channel_id* — both
+        sides derive ids deterministically from the topology, so no
+        further negotiation is needed.
+        """
+        return HaloSendChannel(self, dest, channel_id, capacity, dtype)
+
+    def accept_halo(self, source: int, channel_id: int) -> HaloRecvChannel:
+        """Block for the sender's registration; returns the receiver
+        endpoint of the halo channel."""
+        return HaloRecvChannel(self, source, channel_id)
+
     # -- diagnostics ---------------------------------------------------------
 
     @property
     def stats(self) -> CommStats:
         """This rank's message accounting."""
         return self._world.stats[self.rank]
+
+    def transport_counters(self) -> dict:
+        """Low-level transport counters (pipe posts, acks, segments).
+
+        The thread backend has no control pipes and no shared-memory
+        segments, so everything is zero; the keys exist so telemetry
+        snapshots have the same shape on both backends (the process
+        backend reports real values — see
+        :meth:`repro.simmpi.transport.ProcessCommunicator.
+        transport_counters`).
+        """
+        return {"pipe_messages": 0, "acks": 0, "segments_created": 0}
 
     # -- memory placement ----------------------------------------------------
 
@@ -525,3 +724,7 @@ _TAG_BCAST = -101
 _TAG_GATHER = -102
 _TAG_SCATTER = -103
 _TAG_REDUCE = -104
+
+#: Halo channels occupy the band below the collective tags, growing
+#: downward two tags per channel (notify + registration).
+_TAG_HALO_BASE = -200

@@ -48,6 +48,8 @@ from repro.simmpi.comm import (
     ANY_TAG,
     CommStats,
     Communicator,
+    HaloRecvChannel,
+    HaloSendChannel,
     RankFailure,
     RankTimeout,
     RemoteError,
@@ -156,15 +158,21 @@ class _PostedRecv:
     The transport completes posted receives *during send-side blocking*
     as well as in ``recv``/``wait`` — that asymmetry is what makes
     post-receives-first exchanges deadlock-free under bounded channels.
+
+    *into*, when set, is a destination array view: the payload is
+    unpacked straight into it at dispatch time (one copy from the staged
+    segment into e.g. a ghost slice) instead of being materialized as a
+    standalone array the caller copies a second time.
     """
 
-    __slots__ = ("source", "tag", "done", "payload")
+    __slots__ = ("source", "tag", "done", "payload", "into")
 
-    def __init__(self, source: int, tag: int) -> None:
+    def __init__(self, source: int, tag: int, into=None) -> None:
         self.source = source
         self.tag = tag
         self.done = False
         self.payload = None
+        self.into = into
 
 
 class ProcessRequest:
@@ -236,6 +244,15 @@ class RankTransport:
         self._free: dict[int, list] = {}        # dest -> reusable segments
         self._attached: dict[str, object] = {}  # segname -> SharedMemory
         self._field_segments: list = []         # owned Field backing segments
+        self._halo_segments: list = []          # owned halo channel segments
+        self._halo_unconfirmed: set = set()     # names awaiting peer attach
+        #: Control-traffic accounting (the fig7 message-count story):
+        #: every pipe post, every segment ack sent, every shared-memory
+        #: segment created.  The solver snapshots these around the step
+        #: loop, so RunReports carry *steady-state* per-step costs.
+        self.ctrl_sent = 0
+        self.acks_sent = 0
+        self.segments_created = 0
         self._closed = False
         self._timing = None                     # optional TimingTree
         #: Monotonic liveness counter: bumped by every send, every
@@ -355,6 +372,7 @@ class RankTransport:
             # launcher's primary-error selection stays meaningful.
             self._check_failed()
             raise RemoteError(f"rank {dest} is unreachable") from None
+        self.ctrl_sent += 1
 
     def _try_stage(self, dest: int, nbytes: int):
         """:meth:`_stage`, degrading to ``None`` when the pool is gone."""
@@ -408,14 +426,23 @@ class RankTransport:
             self.progress(block=True)   # drain acks / complete posted recvs
         seg = None
         free = self._free.setdefault(dest, [])
+        # Best fit, not first fit: the smallest segment that holds the
+        # payload.  First-fit let a small message claim a large segment
+        # in insertion order, forcing a fresh (syscall + mmap) segment
+        # creation for the next large send even though a perfectly good
+        # one sat idle in the freelist.
+        best = -1
         for i, cand in enumerate(free):
-            if cand.size >= nbytes:
-                seg = free.pop(i)
-                break
-        if seg is None:
+            if cand.size >= nbytes and (best < 0
+                                        or cand.size < free[best].size):
+                best = i
+        if best >= 0:
+            seg = free.pop(best)
+        else:
             seg = shared_memory.SharedMemory(create=True,
                                              size=max(int(nbytes), 1),
                                              name=_segment_name())
+            self.segments_created += 1
         self._seq += 1
         self._outstanding[self._seq] = (dest, seg)
         self._out_count[dest] = self._out_count.get(dest, 0) + 1
@@ -440,10 +467,25 @@ class RankTransport:
         channel completes the receiver's posted receives, so exchanges
         that post receives before sending cannot deadlock.
         """
-        posted = _PostedRecv(source, tag)
-        msg = self._take_held(source, tag)
+        return self._post_recv(_PostedRecv(source, tag))
+
+    def irecv_into(self, out: np.ndarray, source: int,
+                   tag: int) -> ProcessRequest:
+        """Posted receive that unpacks straight into the view *out*.
+
+        For staged payloads this is the single-copy completion: the
+        shared segment is copied once, directly into *out* (typically a
+        ghost slice), instead of being materialized via ``.copy()`` and
+        then copied a second time by the caller's slab assignment — and
+        the ack goes back at dispatch time, freeing the sender's channel
+        slot as early as possible.
+        """
+        return self._post_recv(_PostedRecv(source, tag, into=out))
+
+    def _post_recv(self, posted: _PostedRecv) -> ProcessRequest:
+        msg = self._take_held(posted.source, posted.tag)
         if msg is not None:
-            posted.payload = self._fetch(msg)
+            posted.payload = self._fetch(msg, into=posted.into)
             posted.done = True
             self.stats.recvs += 1
         else:
@@ -529,33 +571,68 @@ class RankTransport:
                 free.sort(key=lambda s: s.size)
                 self._release(free.pop(0))
             return
+        if kind == "halo_att":
+            # One-time registration confirmation: the peer attached this
+            # halo segment, so teardown may unlink it.  Not a
+            # steady-state ack — it fires once per channel at setup.
+            self._halo_unconfirmed.discard(msg[1])
+            return
         source, tag = msg[1], msg[2]
         for posted in self._posted:
             if not posted.done and _matches(posted.source, posted.tag,
                                             source, tag):
-                posted.payload = self._fetch(msg)
+                posted.payload = self._fetch(msg, into=posted.into)
                 posted.done = True
                 self._posted.remove(posted)
                 self.stats.recvs += 1
                 return
         self._held.append(msg)
 
-    def _fetch(self, msg: tuple):
-        """Materialize a payload; ack staged segments back to the sender."""
+    def _fetch(self, msg: tuple, into=None):
+        """Materialize a payload; ack staged segments back to the sender.
+
+        With *into* set, the payload lands in that view directly (the
+        ``irecv_into`` single-copy path) and *into* is returned.
+        """
         kind = msg[0]
         if kind == "inl":
+            if into is not None:
+                if msg[3].shape != into.shape:
+                    raise ValueError(
+                        f"irecv_into shape mismatch: message "
+                        f"{msg[3].shape} vs destination {into.shape}"
+                    )
+                np.copyto(into, msg[3])
+                return into
             return msg[3]
         if kind == "inlb":
-            return pickle.loads(msg[3])
+            payload = pickle.loads(msg[3])
+            if into is not None:
+                into[...] = payload
+                return into
+            return payload
         if kind == "shm":
             _, source, _tag, seq, name, shape, dtypestr = msg
             shm = self._attach(name)
-            payload = np.ndarray(shape, dtype=np.dtype(dtypestr),
-                                 buffer=shm.buf).copy()
+            view = np.ndarray(shape, dtype=np.dtype(dtypestr),
+                              buffer=shm.buf)
+            if into is not None:
+                if tuple(shape) != tuple(into.shape):
+                    raise ValueError(
+                        f"irecv_into shape mismatch: message {tuple(shape)}"
+                        f" vs destination {tuple(into.shape)}"
+                    )
+                np.copyto(into, view)
+                payload = into
+            else:
+                payload = view.copy()
         else:  # "shb"
             _, source, _tag, seq, name, nbytes = msg
             shm = self._attach(name)
             payload = pickle.loads(bytes(shm.buf[:nbytes]))
+            if into is not None:
+                into[...] = payload
+                payload = into
         if self.fault_plan is not None and self.fault_plan.fires(
             "ack_drop", step=self.fault_step, rank=self.rank
         ) is not None:
@@ -575,6 +652,7 @@ class RankTransport:
                 self._timing.record("comm/pipe/ack", time.perf_counter() - t0)
         else:
             self._post(source, ("ack", seq))
+        self.acks_sent += 1
         return payload
 
     def _attach(self, name: str):
@@ -646,9 +724,41 @@ class RankTransport:
             self._degrade(exc)
             return np.zeros(tuple(shape), dtype=dtype)
         self._field_segments.append(seg)
+        self.segments_created += 1
         arr = np.ndarray(tuple(shape), dtype=dtype, buffer=seg.buf)
         arr.fill(0)
         return arr
+
+    def alloc_halo_segment(self, nbytes: int):
+        """Owned shared-memory segment backing a persistent halo channel.
+
+        Unlike :meth:`alloc_shared_array` the ``OSError`` propagates:
+        the halo channel itself owns the degradation decision (it falls
+        back to heap slots + per-round inline messages, not to a
+        different array kind).
+        """
+        from multiprocessing import shared_memory
+
+        seg = shared_memory.SharedMemory(create=True,
+                                         size=max(int(nbytes), 1),
+                                         name=_segment_name())
+        self._halo_segments.append(seg)
+        self._halo_unconfirmed.add(seg.name)
+        self.segments_created += 1
+        return seg
+
+    def counters(self) -> dict:
+        """Control-traffic totals since transport creation.
+
+        The solver snapshots this dict immediately before and after the
+        step loop; the difference divided by step count is the
+        steady-state per-step message cost the fig7 report gates on.
+        """
+        return {
+            "pipe_messages": self.ctrl_sent,
+            "acks": self.acks_sent,
+            "segments_created": self.segments_created,
+        }
 
     # -- teardown ------------------------------------------------------------
 
@@ -656,11 +766,13 @@ class RankTransport:
         """Release every owned segment and detach from attached ones.
 
         Staged payloads the peers have not consumed yet are drained
-        first (bounded wait for their acks, ``MPI_Finalize`` style) so a
-        rank that sends and returns immediately cannot unlink a segment
-        before the receiver attached to it.  On a failed world the wait
-        is skipped — peers are going down anyway and their attach errors
-        surface as suppressed secondary failures.
+        first (bounded wait for their acks, ``MPI_Finalize`` style), as
+        are pending halo-channel attach confirmations, so a rank that
+        sends (or registers a channel) and returns immediately cannot
+        unlink a segment before the receiver attached to it.  On a
+        failed world the wait is skipped — peers are going down anyway
+        and their attach errors surface as suppressed secondary
+        failures.
         """
         if self._closed:
             return
@@ -669,7 +781,8 @@ class RankTransport:
         if grace is None:
             grace = _JOIN_GRACE / 2
         deadline = time.monotonic() + grace
-        while (self._outstanding and not self._failed.is_set()
+        while ((self._outstanding or self._halo_unconfirmed)
+               and not self._failed.is_set()
                and time.monotonic() < deadline):
             try:
                 self.progress(block=True)
@@ -681,6 +794,8 @@ class RankTransport:
             for seg in free:
                 self._release(seg)
         for seg in self._field_segments:
+            self._release(seg)
+        for seg in self._halo_segments:
             self._release(seg)
         for shm in self._attached.values():
             try:
@@ -701,6 +816,100 @@ class RankTransport:
             seg.unlink()
         except (FileNotFoundError, OSError):
             pass
+
+
+class _ProcessHaloSend(HaloSendChannel):
+    """Process-backend sender endpoint: slots in a named shm segment.
+
+    The registration handle is the segment *name* (attached lazily by
+    the receiver), so steady-state rounds are one raw memcpy into the
+    mapped slot plus one tiny notify over the control pipe — no staging,
+    no ack, no pickling of the payload.
+
+    Degradation ladder: if the segment pool is exhausted at registration
+    time the slots fall back to plain heap memory, the handle ships as
+    ``None``, and every :meth:`notify` carries the packed prefix inline
+    — same sticky-inline rung as :meth:`RankTransport._degrade`, chosen
+    once at setup so the per-round protocol never changes mid-run.
+    """
+
+    def __init__(self, transport: RankTransport, comm, dest: int,
+                 channel_id: int, capacity: int, dtype=np.float64) -> None:
+        self._transport = transport
+        self._seg = None
+        self._inline = False
+        super().__init__(comm, dest, channel_id, capacity, dtype)
+
+    def _allocate(self, comm) -> np.ndarray:
+        nbytes = 2 * int(self.capacity) * self.dtype.itemsize
+        try:
+            self._seg = self._transport.alloc_halo_segment(nbytes)
+        except OSError as exc:
+            self._transport._degrade(exc)
+            self._inline = True
+            return np.empty((2, self.capacity), dtype=self.dtype)
+        return np.ndarray((2, self.capacity), dtype=self.dtype,
+                          buffer=self._seg.buf)
+
+    def _announce(self, comm) -> None:
+        handle = None if self._seg is None else self._seg.name
+        comm.send(
+            ("haloreg", self.channel_id, self.capacity, self.dtype.str,
+             handle),
+            self.dest, tag=self.reg_tag,
+        )
+
+    def notify(self, used: int | None = None) -> None:
+        if self._inline:
+            n = self.capacity if used is None else int(used)
+            self._comm.send((self.seq, self._slots[self.seq % 2][:n]),
+                            self.dest, tag=self.notify_tag)
+            self.seq += 1
+            return
+        super().notify(used)
+
+
+class _ProcessHaloRecv(HaloRecvChannel):
+    """Process-backend receiver endpoint: attaches the sender's segment.
+
+    A ``None`` handle means the sender degraded to heap slots; notifies
+    then arrive as ``(seq, payload)`` tuples whose payload is copied
+    into a local slot so callers see identical view semantics on every
+    rung of the ladder.
+    """
+
+    def __init__(self, transport: RankTransport, comm, source: int,
+                 channel_id: int) -> None:
+        self._transport = transport
+        self._inline = False
+        super().__init__(comm, source, channel_id)
+
+    def _attach(self, handle) -> np.ndarray:
+        if handle is None:
+            self._inline = True
+            return np.empty((2, self.capacity), dtype=self.dtype)
+        shm = self._transport._attach(handle)
+        # One-time attach confirmation: until it arrives the sender's
+        # close() must not unlink the segment (a rank that registers and
+        # exits immediately would otherwise race our attach).
+        self._transport._post(self.source, ("halo_att", handle))
+        return np.ndarray((2, self.capacity), dtype=self.dtype,
+                          buffer=shm.buf)
+
+    def wait(self) -> np.ndarray:
+        if not self._inline:
+            return super().wait()
+        seq, payload = self._comm.recv(self.source, tag=self.notify_tag)
+        if seq != self.seq:
+            raise RuntimeError(
+                f"halo channel {self.channel_id} from rank {self.source}: "
+                f"expected sequence {self.seq}, got {seq} — exchange rounds "
+                "out of lockstep (registered and legacy paths mixed?)"
+            )
+        self.seq += 1
+        slot = self._slots[seq % 2]
+        slot[:payload.size] = payload
+        return slot
 
 
 class ProcessCommunicator(Communicator):
@@ -728,8 +937,27 @@ class ProcessCommunicator(Communicator):
               tag: int = ANY_TAG) -> ProcessRequest:
         return self._transport.irecv(source, tag)
 
+    def irecv_into(self, out: np.ndarray, source: int = ANY_SOURCE,
+                   tag: int = ANY_TAG) -> ProcessRequest:
+        """Posted receive completing in one copy into the view *out*."""
+        return self._transport.irecv_into(out, source, tag)
+
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
         return self._transport.probe(source, tag)
+
+    def register_halo(self, dest: int, channel_id: int, capacity: int,
+                      dtype=np.float64) -> HaloSendChannel:
+        """Sender endpoint of a halo channel, slots in shared memory."""
+        return _ProcessHaloSend(self._transport, self, dest, channel_id,
+                                capacity, dtype)
+
+    def accept_halo(self, source: int, channel_id: int) -> HaloRecvChannel:
+        """Receiver endpoint; attaches the sender's slot segment."""
+        return _ProcessHaloRecv(self._transport, self, source, channel_id)
+
+    def transport_counters(self) -> dict:
+        """Real control-traffic totals (see :meth:`RankTransport.counters`)."""
+        return self._transport.counters()
 
     def barrier(self) -> None:
         self._transport.barrier_wait()

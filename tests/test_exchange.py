@@ -157,6 +157,126 @@ def test_exchange_correct_on_both_backends(backend):
         )
 
 
+def _ghost2_exchange(comm, field, shape):
+    """Two ranks on a periodic axis, ghost width 2."""
+    g = 2
+    cart = CartComm(comm, (2, 1), (True, False))
+    cx, _ = cart.coords()
+    bx = shape[0] // 2
+    loc = np.zeros((1, bx + 2 * g, shape[1] + 2 * g))
+    loc[:, g:-g, g:-g] = field[:, cx * bx : (cx + 1) * bx, :]
+    spec = BoundarySpec.directional(2, bottom=Neumann(), top=Neumann())
+    exchange_ghosts(cart, loc, 2, spec, ghost=g)
+    return loc, cx
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_ghost_width_two_exchange_both_backends(backend):
+    """Ghost width 2 must carry TWO interior edge layers, not one.
+
+    Regression for the hardcoded-width bug: the seed's ``exchange_ghosts``
+    never accepted a ghost width, so any field with ``ghost != 1`` was
+    silently corrupted (wrong slabs sent, wrong slabs filled).
+    """
+    shape = (8, 6)
+    field = _global_field(shape, comps=1, seed=7)
+    out = run_spmd(2, _ghost2_exchange, field, shape, backend=backend)
+    for loc, cx in out:
+        bx = 4
+        # Both low-ghost layers equal the periodic neighbour's TOP TWO
+        # interior layers, in order; both high-ghost layers its bottom two.
+        for j, row in enumerate(range(-2, 0)):
+            np.testing.assert_array_equal(
+                loc[0, j, 2:-2],
+                field[0, (cx * bx + row) % shape[0], :],
+            )
+        for j, row in enumerate(range(bx, bx + 2)):
+            np.testing.assert_array_equal(
+                loc[0, -2 + j, 2:-2],
+                field[0, (cx * bx + row) % shape[0], :],
+            )
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_ghost_width_two_block_exchange(backend):
+    """Ghost width 2 through the block-forest routine, remote neighbours."""
+    from repro.distributed.exchange import exchange_block_ghosts
+    from repro.grid.blockforest import BlockForest
+
+    g = 2
+    shape = (8, 6)
+    field = _global_field(shape, comps=1, seed=3)
+    spec = BoundarySpec.directional(2, bottom=Neumann(), top=Neumann())
+    forest = BlockForest(shape, (2, 1), (True, False))
+    owner = [0, 1]
+
+    def fn(comm):
+        arrays = {}
+        for b in forest.blocks:
+            if owner[b.id] != comm.rank:
+                continue
+            arr = np.zeros((1, b.shape[0] + 2 * g, b.shape[1] + 2 * g))
+            sl = tuple(slice(o, o + s) for o, s in zip(b.offset, b.shape))
+            arr[:, g:-g, g:-g] = field[(slice(None),) + sl]
+            arrays[b.id] = arr
+        exchange_block_ghosts(comm, forest, owner, arrays, 2, spec, ghost=g)
+        return arrays
+
+    out = run_spmd(2, fn, backend=backend)
+    for rank, arrays in enumerate(out):
+        for bid, arr in arrays.items():
+            x0 = forest.blocks[bid].offset[0]
+            for j, row in enumerate(range(-2, 0)):
+                np.testing.assert_array_equal(
+                    arr[0, j, 2:-2], field[0, (x0 + row) % shape[0], :]
+                )
+
+
+def test_unsupported_ghost_width_raises():
+    """Widths the slab geometry cannot express fail loudly, not silently."""
+    spec = BoundarySpec.directional(2)
+
+    def fn(comm):
+        cart = CartComm(comm, (1, 1), (True, False))
+        ok = np.zeros((1, 8, 8))
+        with pytest.raises(ValueError, match="ghost width"):
+            # extent 8 < 3*3: fewer interior cells than ghost layers
+            exchange_ghosts(cart, ok, 2, spec, ghost=3)
+        with pytest.raises(ValueError, match="ghost width"):
+            exchange_ghosts(cart, ok, 2, spec, ghost=0)
+        return True
+
+    assert run_spmd(1, fn) == [True]
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_cart_halo_registry_matches_legacy(backend):
+    """exchange_ghosts through registered channels == staged messages."""
+    from repro.distributed.halo import CartHaloRegistry
+
+    shape = (8, 8)
+    field = _global_field(shape, comps=2, seed=13)
+    spec = BoundarySpec.directional(2, bottom=Neumann(), top=Dirichlet(0.5))
+
+    def fn(comm, use_halo):
+        cart = CartComm(comm, (2, 2), (True, False))
+        cx, cz = cart.coords()
+        loc = np.zeros((2, 6, 6))
+        loc[:, 1:-1, 1:-1] = field[:, cx * 4 : cx * 4 + 4, cz * 4 : cz * 4 + 4]
+        halo = None
+        if use_halo:
+            halo = CartHaloRegistry(cart, 2, (4, 4), streams=[(2, 1)])
+            assert halo.n_channels > 0
+        for _ in range(2):   # two rounds: exercises slot double buffering
+            exchange_ghosts(cart, loc, 2, spec, halo=halo)
+        return loc
+
+    legacy = run_spmd(4, fn, False, backend=backend)
+    halo = run_spmd(4, fn, True, backend=backend)
+    for a, b in zip(halo, legacy):
+        np.testing.assert_array_equal(a, b)
+
+
 def test_timer_accumulates():
     def fn(comm):
         cart = CartComm(comm, (2,), (True,))

@@ -1,0 +1,295 @@
+"""Persistent registered halo channels: protocol, equivalence, counters.
+
+The ISSUE 10 acceptance criteria distilled: registered-halo exchange is
+bitwise-identical to the legacy staged path (down to checkpoint CRCs)
+across backends, rank counts and schedules; a 2-rank process-backend run
+sends at least 3x fewer steady-state control-pipe messages with ZERO
+acks; channels survive an elastic shrink through re-registration; the
+protocol fails loudly when its lockstep discipline is violated.
+"""
+
+import json
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.nucleation import smooth_phase_field, voronoi_initial_condition
+from repro.distributed import DistributedSimulation
+from repro.simmpi import run_spmd
+from repro.thermo.system import TernaryEutecticSystem
+
+SHAPE = (6, 6, 12)
+STEPS = 3
+
+
+@pytest.fixture(scope="module")
+def initial_state():
+    system = TernaryEutecticSystem()
+    phi0, mu0 = voronoi_initial_condition(
+        system, SHAPE, solid_height=4, n_seeds=4
+    )
+    phi0 = smooth_phase_field(phi0, 2)
+    return system, phi0, mu0
+
+
+def _run(initial_state, backend, halo, *, n_ranks, overlap=False,
+         bpa=(2, 2, 1), **kwargs):
+    system, phi0, mu0 = initial_state
+    sim = DistributedSimulation(
+        SHAPE, bpa, system=system, kernel="buffered", overlap=overlap,
+        n_ranks=n_ranks, backend=backend, halo_channels=halo,
+    )
+    return sim.run(STEPS, phi0, mu0, **kwargs)
+
+
+def _crc(arr):
+    return zlib.crc32(np.ascontiguousarray(arr).tobytes()) & 0xFFFFFFFF
+
+
+# -- channel protocol ---------------------------------------------------------
+
+
+def _roundtrip(comm, rounds):
+    peer = 1 - comm.rank
+    send = comm.register_halo(peer, 0, 6)
+    recv = comm.accept_halo(peer, 0)
+    got = []
+    for step in range(rounds):
+        send.slot()[:] = np.arange(6) + 100.0 * comm.rank + step
+        send.notify(6)
+        got.append(recv.wait().copy())
+    return np.concatenate(got)
+
+
+class TestChannelProtocol:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_double_buffered_roundtrip(self, backend):
+        """Three rounds reuse each slot: round n+2 lands in slot n's
+        buffer and must not clobber data the peer still reads."""
+        out = run_spmd(2, _roundtrip, 3, backend=backend)
+        for rank, got in enumerate(out):
+            expected = np.concatenate(
+                [np.arange(6) + 100.0 * (1 - rank) + s for s in range(3)]
+            )
+            np.testing.assert_array_equal(got, expected)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_lockstep_violation_raises(self, backend):
+        """A stale/skewed sequence number is a loud protocol error,
+        never a silent unpack of the wrong slot."""
+
+        def fn(comm):
+            peer = 1 - comm.rank
+            send = comm.register_halo(peer, 0, 4)
+            recv = comm.accept_halo(peer, 0)
+            if comm.rank == 0:
+                # Skip ahead: deliver seq 5 where the peer expects 0.
+                send.seq = 5
+                send.notify(4)
+                return True
+            with pytest.raises(RuntimeError, match="lockstep"):
+                recv.wait()
+            return True
+
+        assert run_spmd(2, fn, backend=backend) == [True, True]
+
+    def test_invalid_capacity_and_id_rejected(self):
+        def fn(comm):
+            with pytest.raises(ValueError, match="capacity"):
+                comm.register_halo(0, 0, 0)
+            from repro.simmpi.comm import _halo_tags
+
+            with pytest.raises(ValueError, match="channel id"):
+                _halo_tags(-1)
+            return True
+
+        assert run_spmd(1, fn) == [True]
+
+    def test_process_steady_state_has_zero_acks(self):
+        """After registration, halo rounds cost one pipe post each and
+        no acks or fresh segments — the whole point of the channel."""
+
+        def fn(comm):
+            peer = 1 - comm.rank
+            send = comm.register_halo(peer, 0, 2048)
+            recv = comm.accept_halo(peer, 0)
+            before = comm.transport_counters()
+            for step in range(4):
+                send.slot()[:] = float(step)
+                send.notify()
+                recv.wait()
+            after = comm.transport_counters()
+            return {k: after[k] - before[k] for k in after}
+
+        for delta in run_spmd(2, fn, backend="process"):
+            assert delta["acks"] == 0
+            assert delta["segments_created"] == 0
+            assert delta["pipe_messages"] == 4  # one notify per round
+
+    def test_process_degrades_to_inline_when_pool_exhausted(self):
+        """Segment-pool exhaustion at registration falls back to heap
+        slots + per-round inline payloads; data still flows."""
+        from repro.simmpi import transport
+
+        original = transport.RankTransport.alloc_halo_segment
+
+        def broken(self, nbytes):
+            raise OSError("no space left on device (injected)")
+
+        def fn(comm):
+            import warnings
+
+            with warnings.catch_warnings():
+                # The degradation warning fires in the child process;
+                # silence it there (we assert on the counter instead).
+                warnings.simplefilter("ignore", RuntimeWarning)
+                got = _roundtrip(comm, 2)
+            return got, comm._transport.degradations
+
+        transport.RankTransport.alloc_halo_segment = broken
+        try:
+            out = run_spmd(2, fn, backend="process")
+        finally:
+            transport.RankTransport.alloc_halo_segment = original
+        for rank, (got, degradations) in enumerate(out):
+            assert degradations >= 1
+            expected = np.concatenate(
+                [np.arange(6) + 100.0 * (1 - rank) + s for s in range(2)]
+            )
+            np.testing.assert_array_equal(got, expected)
+
+
+# -- solver equivalence -------------------------------------------------------
+
+
+class TestSolverEquivalence:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("n_ranks", [1, 2, 4])
+    def test_halo_matches_legacy_bitwise(self, initial_state, backend,
+                                         n_ranks):
+        res_h = _run(initial_state, backend, True, n_ranks=n_ranks)
+        res_l = _run(initial_state, backend, False, n_ranks=n_ranks)
+        np.testing.assert_array_equal(res_h.phi, res_l.phi)
+        np.testing.assert_array_equal(res_h.mu, res_l.mu)
+        assert _crc(res_h.phi) == _crc(res_l.phi)
+        assert _crc(res_h.mu) == _crc(res_l.mu)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_halo_matches_legacy_with_overlap(self, initial_state, backend):
+        """Algorithm 2's conditional deferred mu exchange keeps every
+        channel in lockstep (the skip decision is collective)."""
+        res_h = _run(initial_state, backend, True, n_ranks=2, overlap=True)
+        res_l = _run(initial_state, backend, False, n_ranks=2, overlap=True)
+        np.testing.assert_array_equal(res_h.phi, res_l.phi)
+        np.testing.assert_array_equal(res_h.mu, res_l.mu)
+
+    def test_env_var_opt_out(self, initial_state, monkeypatch):
+        """REPRO_SIMMPI_HALO_CHANNELS=0 selects the legacy path (and the
+        default of the unset env is on)."""
+        from repro.distributed.halo import halo_channels_enabled
+
+        monkeypatch.delenv("REPRO_SIMMPI_HALO_CHANNELS", raising=False)
+        assert halo_channels_enabled(None) is True
+        monkeypatch.setenv("REPRO_SIMMPI_HALO_CHANNELS", "0")
+        assert halo_channels_enabled(None) is False
+        assert halo_channels_enabled(True) is True  # param beats env
+        res_env = _run(initial_state, "thread", None, n_ranks=2)
+        res_leg = _run(initial_state, "thread", False, n_ranks=2)
+        np.testing.assert_array_equal(res_env.phi, res_leg.phi)
+
+    def test_checkpoint_crcs_identical(self, initial_state, tmp_path):
+        """Halo vs legacy down to sharded-checkpoint manifest CRC32s."""
+        from repro.resilience.store import ShardedCheckpointStore
+
+        tables = {}
+        for name, halo in (("halo", True), ("legacy", False)):
+            store = ShardedCheckpointStore(tmp_path / name)
+            _run(initial_state, "thread", halo, n_ranks=2,
+                 shard_store=store, checkpoint_every=STEPS)
+            with open(store.manifest_for(STEPS)) as fh:
+                manifest = json.load(fh)
+            tables[name] = {
+                arr_name: meta["crc32"]
+                for entry in manifest["shards"]
+                for arr_name, meta in entry["arrays"].items()
+            }
+        assert tables["halo"]
+        assert tables["halo"] == tables["legacy"]
+
+
+# -- elastic shrink -----------------------------------------------------------
+
+
+class TestShrinkReregistration:
+    def test_channels_reregister_on_shrunk_communicator(self):
+        """After a rank loss + shrink, survivors rebuild their channels
+        on the sub-communicator and exchange again."""
+        from repro.simmpi import RankFailure, run_spmd_elastic
+
+        def fn(comm):
+            if comm.size >= 3 and comm.rank < 2:
+                # A working channel pair on the original world first.
+                peer = 1 - comm.rank
+                send = comm.register_halo(peer, 0, 4)
+                recv = comm.accept_halo(peer, 0)
+                send.slot()[:] = float(comm.rank)
+                send.notify()
+                first = float(recv.wait()[0])
+            else:
+                raise RuntimeError("node down")
+            try:
+                comm.barrier()
+            except RankFailure:
+                sub = comm.shrink()
+                # Re-registration: fresh channels, fresh sequence zero.
+                peer = 1 - sub.rank
+                send = sub.register_halo(peer, 0, 4)
+                recv = sub.accept_halo(peer, 0)
+                send.slot()[:] = 10.0 + sub.rank
+                send.notify()
+                second = float(recv.wait()[0])
+                return first, second
+            return None
+
+        results, failures = run_spmd_elastic(3, fn)
+        assert set(failures) == {2}
+        assert results[0] == (1.0, 11.0)
+        assert results[1] == (0.0, 10.0)
+
+
+# -- steady-state message counts (the fig7 gate) ------------------------------
+
+
+class TestSteadyStateCounters:
+    def test_process_halo_cuts_pipe_messages_3x_with_zero_acks(self):
+        """2-rank process backend, multi-block decomposition: registered
+        channels must send >= 3x fewer steady-state control-pipe
+        messages than the legacy staged path, with zero acks."""
+        from repro.telemetry import RunTelemetry
+
+        system = TernaryEutecticSystem()
+        shape = (6, 6, 16)
+        phi0, mu0 = voronoi_initial_condition(
+            system, shape, solid_height=5, n_seeds=4
+        )
+
+        def counters(halo):
+            sim = DistributedSimulation(
+                shape, (2, 2, 4), system=system, n_ranks=2,
+                backend="process", halo_channels=halo,
+            )
+            res = sim.run(3, phi0, mu0, telemetry=RunTelemetry())
+            return res
+
+        res_h = counters(True)
+        res_l = counters(False)
+        np.testing.assert_array_equal(res_h.phi, res_l.phi)
+        assert res_h.counters["halo_acks"] == 0
+        assert res_h.counters["pipe_messages"] * 3 <= (
+            res_l.counters["pipe_messages"]
+        )
+        # packing also collapses the exchange-level message count
+        assert res_h.counters["halo_messages"] * 3 <= (
+            res_l.counters["halo_messages"]
+        )

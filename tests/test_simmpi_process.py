@@ -128,6 +128,62 @@ def _self_send(comm):
     return float(req.wait().sum())
 
 
+def _best_fit_freelist(comm):
+    """Freelist reuse scenario: small + large segments recycled in the
+    order [large, small]; first-fit would burn the large one on the next
+    small send and be forced to create a third segment."""
+    small = int(INLINE_MAX) // 8 * 2     # 2x inline threshold, in doubles
+    large = small * 4
+    if comm.rank == 0:
+        comm.send(np.full(large, 1.0), 1, tag=1)
+        comm.send(np.full(small, 2.0), 1, tag=2)
+        comm.recv(1, tag=9)   # token: both acks are already in the pipe
+        comm.send(np.full(small, 3.0), 1, tag=3)
+        comm.send(np.full(large, 4.0), 1, tag=4)
+        comm.recv(1, tag=9)
+        return comm.transport_counters()["segments_created"]
+    for tag in (1, 2):
+        comm.recv(0, tag=tag)
+    comm.send(0, 0, tag=9)
+    for tag in (3, 4):
+        comm.recv(0, tag=tag)
+    comm.send(0, 0, tag=9)
+    return None
+
+
+def _irecv_into_paths(comm):
+    """irecv_into on both completion paths (posted-first and held)."""
+    peer = 1 - comm.rank
+    staged = np.full((48, 48), float(comm.rank + 1))   # >= INLINE_MAX
+    inline = np.arange(4, dtype=float) + comm.rank
+    out_staged = np.zeros((48, 48))
+    out_inline = np.zeros(4)
+    # posted path: receive announced before the payload arrives
+    req1 = comm.irecv_into(out_staged, peer, tag=11)
+    comm.send(staged, peer, tag=11)
+    comm.send(inline, peer, tag=12)
+    got1 = req1.wait()
+    comm.barrier()   # by now tag-12 sits in the held list
+    req2 = comm.irecv_into(out_inline, peer, tag=12)
+    got2 = req2.wait()
+    return (got1 is out_staged, got2 is out_inline,
+            float(out_staged[0, 0]), float(out_inline[0]))
+
+
+def _irecv_into_shape_mismatch(comm):
+    peer = 1 - comm.rank
+    if comm.rank == 0:
+        comm.send(np.zeros((4, 4)), peer, tag=1)
+        comm.recv(peer, tag=2)
+        return True
+    out = np.zeros((2, 8))
+    req = comm.irecv_into(out, peer, tag=1)
+    with pytest.raises(ValueError, match="shape mismatch"):
+        req.wait()
+    comm.send(0, peer, tag=2)
+    return True
+
+
 class _Unpicklable(Exception):
     def __init__(self):
         super().__init__("cannot cross process boundary")
@@ -244,3 +300,24 @@ class TestSharedMemoryIntegration:
         assert sends == 2
         assert nbytes == 8 * 8 + int(INLINE_MAX) * 8
         assert out[1] == 2
+
+
+class TestStagingAndCompletion:
+    def test_best_fit_freelist_reuses_both_segments(self):
+        """Regression for first-fit staging: with [large, small] free, a
+        small send must claim the small segment so the following large
+        send can reuse the large one — exactly two segments ever created
+        (first-fit needed three)."""
+        out = run_spmd(2, _best_fit_freelist, backend="process")
+        assert out[0] == 2
+
+    def test_irecv_into_fills_caller_buffer_on_both_paths(self):
+        out = run_spmd(2, _irecv_into_paths, backend="process")
+        for rank, (same1, same2, staged_val, inline_val) in enumerate(out):
+            assert same1 and same2  # wait() returns the caller's array
+            assert staged_val == float((1 - rank) + 1)
+            assert inline_val == float(1 - rank)
+
+    def test_irecv_into_shape_mismatch_raises(self):
+        out = run_spmd(2, _irecv_into_shape_mismatch, backend="process")
+        assert out == [True, True]
